@@ -1,0 +1,156 @@
+// Command abrreport replays a block-request trace against a simulated
+// adaptive disk and prints the driver's measurement tables — the
+// trace-driven simulation path the paper's original study ([Akyurek 93])
+// was built on.
+//
+// Usage:
+//
+//	abrreport -trace day.trace [-disk toshiba|fujitsu] [-sched scan]
+//	          [-rearrange N] [-policy organ-pipe]
+//
+// With -rearrange N, the trace is replayed twice: once to learn the N
+// hottest blocks, then again after rearranging them, and both
+// measurements are reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/driver"
+	"repro/internal/rig"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+func main() {
+	traceFile := flag.String("trace", "", "trace file to replay (required)")
+	diskName := flag.String("disk", "toshiba", "disk model: toshiba or fujitsu")
+	schedName := flag.String("sched", "scan", "head scheduling: scan, fcfs, cscan, sstf")
+	rearrange := flag.Int("rearrange", 0, "rearrange the N hottest blocks between two replays")
+	policy := flag.String("policy", "organ-pipe", "placement policy for -rearrange")
+	format := flag.String("format", "binary", "trace format: binary or text")
+	flag.Parse()
+
+	if err := run(*traceFile, *diskName, *schedName, *policy, *format, *rearrange); err != nil {
+		fmt.Fprintln(os.Stderr, "abrreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(traceFile, diskName, schedName, policyName, format string, rearrange int) error {
+	if traceFile == "" {
+		return fmt.Errorf("-trace is required")
+	}
+	f, err := os.Open(traceFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var recs []trace.Record
+	switch format {
+	case "binary":
+		recs, err = trace.ReadBinary(f)
+	case "text":
+		recs, err = trace.ReadText(f)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("trace is empty")
+	}
+
+	var model disk.Model
+	reserved := 48
+	switch diskName {
+	case "toshiba":
+		model = disk.Toshiba()
+	case "fujitsu":
+		model = disk.Fujitsu()
+		reserved = 80
+	default:
+		return fmt.Errorf("unknown disk %q", diskName)
+	}
+	schedPolicy, err := sched.New(schedName)
+	if err != nil {
+		return err
+	}
+	r, err := rig.New(rig.Options{
+		Disk: model, ReservedCyls: reserved, Sched: schedPolicy,
+		// The whole trace must fit the monitoring table so the learning
+		// replay sees every request.
+		RequestTableSize: len(recs) + 1024,
+	})
+	if err != nil {
+		return err
+	}
+
+	replay := func(label string) (*driver.Side, error) {
+		done := false
+		var completed, errs int
+		trace.Replay(r.Eng, r.Driver, recs, func(c, e int) { completed, errs, done = c, e, true })
+		r.Eng.Run()
+		if !done {
+			return nil, fmt.Errorf("replay stalled")
+		}
+		if errs > 0 {
+			fmt.Fprintf(os.Stderr, "abrreport: %s: %d of %d requests failed\n", label, errs, completed+errs)
+		}
+		return r.Driver.ReadStats().All(), nil
+	}
+
+	report := func(label string, s *driver.Side) {
+		fmt.Printf("%s:\n", label)
+		fmt.Printf("  requests:             %d\n", s.Count())
+		fmt.Printf("  FCFS mean seek dist:  %.0f cylinders (%.2f ms)\n",
+			s.FCFSDist.MeanDist(), s.FCFSMeanSeekMS(model.Seek))
+		fmt.Printf("  mean seek distance:   %.0f cylinders (%.2f ms)\n",
+			s.SchedDist.MeanDist(), s.MeanSeekMS(model.Seek))
+		fmt.Printf("  zero-length seeks:    %.0f%%\n", s.SchedDist.ZeroFrac()*100)
+		fmt.Printf("  mean service time:    %.2f ms\n", s.MeanServiceMS())
+		fmt.Printf("  mean waiting time:    %.2f ms\n", s.MeanQueueingMS())
+	}
+
+	side, err := replay("replay 1")
+	if err != nil {
+		return err
+	}
+	report("original layout ("+schedName+")", side)
+
+	if rearrange > 0 {
+		placement, err := core.NewPolicy(policyName)
+		if err != nil {
+			return err
+		}
+		rear, err := core.New(r.Eng, r.Driver, core.Config{Policy: placement, MaxBlocks: rearrange})
+		if err != nil {
+			return err
+		}
+		rear.Poll()
+		rdone := false
+		var installed int
+		var rerr error
+		rear.Rearrange(func(n int, err error) { installed, rerr, rdone = n, err, true })
+		r.Eng.Run()
+		if !rdone {
+			return fmt.Errorf("rearrangement stalled")
+		}
+		if rerr != nil {
+			return rerr
+		}
+		fmt.Printf("\nrearranged %d blocks (%s placement)\n\n", installed, policyName)
+		r.Driver.ReadStats() // discard movement-era stats
+		side, err := replay("replay 2")
+		if err != nil {
+			return err
+		}
+		report("rearranged layout ("+schedName+")", side)
+	}
+	return nil
+}

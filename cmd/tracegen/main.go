@@ -1,0 +1,127 @@
+// Command tracegen generates a block-request trace by running one of
+// the paper's file-server workloads against a simulated disk, capturing
+// every driver request, and writing it to a file in the binary or text
+// trace format.
+//
+// Usage:
+//
+//	tracegen -o day.trace [-fs system|users] [-disk toshiba|fujitsu]
+//	         [-hours H] [-format binary|text] [-seed S]
+//
+// The resulting trace can be replayed with abrreport.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/disk"
+	"repro/internal/fs"
+	"repro/internal/rig"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	out := flag.String("o", "", "output trace file (required)")
+	fsName := flag.String("fs", "system", "workload: system or users")
+	diskName := flag.String("disk", "toshiba", "disk model: toshiba or fujitsu")
+	hours := flag.Float64("hours", 2, "hours of traffic to capture")
+	format := flag.String("format", "binary", "trace format: binary or text")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	if err := run(*out, *fsName, *diskName, *hours, *format, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, fsName, diskName string, hours float64, format string, seed uint64) error {
+	if out == "" {
+		return fmt.Errorf("-o is required")
+	}
+	var model disk.Model
+	reserved := 48
+	switch diskName {
+	case "toshiba":
+		model = disk.Toshiba()
+	case "fujitsu":
+		model = disk.Fujitsu()
+		reserved = 80
+	default:
+		return fmt.Errorf("unknown disk %q", diskName)
+	}
+	r, err := rig.New(rig.Options{Disk: model, ReservedCyls: reserved})
+	if err != nil {
+		return err
+	}
+	fsys, err := fs.Newfs(r.Eng, r.Driver, 0, fs.Params{
+		Cache: cache.Config{CapacityBlocks: 512, PressurePeriodMS: 60_000, Seed: seed},
+	})
+	if err != nil {
+		return err
+	}
+	r.Eng.Run()
+
+	var w workload.Workload
+	switch fsName {
+	case "system":
+		w = workload.NewSystem(r.Eng, fsys, workload.SystemConfig{
+			WindowMS: hours * workload.HourMS, Seed: seed,
+		})
+	case "users":
+		w = workload.NewUsers(r.Eng, fsys, workload.UsersConfig{
+			WindowMS: hours * workload.HourMS, Seed: seed,
+		})
+	default:
+		return fmt.Errorf("unknown workload %q", fsName)
+	}
+
+	populated := false
+	var perr error
+	w.Populate(func(err error) { perr, populated = err, true })
+	r.Eng.RunUntil(workload.DayStartMS)
+	if !populated {
+		return fmt.Errorf("populate did not complete")
+	}
+	if perr != nil {
+		return perr
+	}
+
+	cap := trace.NewCapture(r.Eng, r.Driver)
+	dayDone := false
+	var derr error
+	w.RunDay(0, func(err error) { derr, dayDone = err, true })
+	deadline := workload.DayStartMS + hours*workload.HourMS + workload.HourMS
+	r.Eng.RunUntil(deadline)
+	if !dayDone {
+		return fmt.Errorf("workload did not complete by the deadline")
+	}
+	if derr != nil {
+		return derr
+	}
+	cap.Close()
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs := cap.Records()
+	switch format {
+	case "binary":
+		err = trace.WriteBinary(f, recs)
+	case "text":
+		err = trace.WriteText(f, recs)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: wrote %d records to %s\n", len(recs), out)
+	return f.Close()
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/hotlist"
+)
+
+// spc is the test disk's cylinder size in sectors (Toshiba: 10×34).
+const spc = 340
+
+// blockIn returns the k-th block-aligned sector inside cylinder c (a
+// 340-sector cylinder boundary is not itself 16-aligned).
+func blockIn(c, k int64) int64 { return (c*spc+15)/16*16 + k*16 }
+
+func TestCylinderPolicyGroupsBySourceCylinder(t *testing.T) {
+	p := NewCylinderOrganPipe(spc)
+	// Two source cylinders: cylinder 5 (hot, 3 blocks) and cylinder 9
+	// (cooler, 2 blocks).
+	hot := []hotlist.BlockCount{
+		{Block: blockIn(5, 0), Count: 50},
+		{Block: blockIn(5, 2), Count: 40},
+		{Block: blockIn(9, 1), Count: 30},
+		{Block: blockIn(5, 4), Count: 20},
+		{Block: blockIn(9, 3), Count: 10},
+	}
+	slots := figure3Slots()
+	moves := p.Place(hot, slots, 100, geom.Block8K)
+	if len(moves) != 5 {
+		t.Fatalf("%d moves", len(moves))
+	}
+	dstCyl := map[int64]int64{}
+	for _, m := range moves {
+		dstCyl[m.Orig] = m.Dst / 1000
+	}
+	// All of source cylinder 5 (total count 110) goes to the middle
+	// reserved cylinder (1); source cylinder 9 (total 40) to the next
+	// in organ-pipe order (2).
+	for _, b := range []int64{blockIn(5, 0), blockIn(5, 2), blockIn(5, 4)} {
+		if dstCyl[b] != 1 {
+			t.Errorf("hot-cylinder block %d placed on reserved cylinder %d, want 1", b, dstCyl[b])
+		}
+	}
+	for _, b := range []int64{blockIn(9, 1), blockIn(9, 3)} {
+		if dstCyl[b] != 2 {
+			t.Errorf("cool-cylinder block %d placed on reserved cylinder %d, want 2", b, dstCyl[b])
+		}
+	}
+}
+
+func TestCylinderPolicyPreservesIntraCylinderOrder(t *testing.T) {
+	p := NewCylinderOrganPipe(spc)
+	hot := []hotlist.BlockCount{
+		{Block: blockIn(5, 4), Count: 10},
+		{Block: blockIn(5, 0), Count: 9},
+		{Block: blockIn(5, 2), Count: 8},
+	}
+	moves := p.Place(hot, figure3Slots(), 100, geom.Block8K)
+	if len(moves) != 3 {
+		t.Fatalf("%d moves", len(moves))
+	}
+	// Blocks placed in ascending original order into ascending slots of
+	// the cylinder.
+	for i := 1; i < len(moves); i++ {
+		if moves[i].Orig < moves[i-1].Orig || moves[i].Dst < moves[i-1].Dst {
+			t.Errorf("intra-cylinder order not preserved: %+v", moves)
+		}
+	}
+}
+
+func TestCylinderPolicyRespectsLimits(t *testing.T) {
+	p := NewCylinderOrganPipe(spc)
+	var hot []hotlist.BlockCount
+	for i := int64(0); i < 10; i++ {
+		hot = append(hot, hotlist.BlockCount{Block: blockIn(5, i), Count: 100 - i})
+	}
+	// Only 4 slots per reserved cylinder: the 10-block source cylinder
+	// is truncated to what fits.
+	moves := p.Place(hot, figure3Slots(), 100, geom.Block8K)
+	if len(moves) != 4 {
+		t.Errorf("%d moves, want 4 (cylinder capacity)", len(moves))
+	}
+	// maxBlocks cap.
+	moves = p.Place(hot, figure3Slots(), 2, geom.Block8K)
+	if len(moves) != 2 {
+		t.Errorf("%d moves, want 2 (maxBlocks)", len(moves))
+	}
+}
+
+func TestCylinderPolicyNoDuplicates(t *testing.T) {
+	p := NewCylinderOrganPipe(spc)
+	var hot []hotlist.BlockCount
+	for i := int64(0); i < 30; i++ {
+		hot = append(hot, hotlist.BlockCount{Block: blockIn(i%7, i/7), Count: 30 - i})
+	}
+	moves := p.Place(hot, figure3Slots(), 100, geom.Block8K)
+	origs, dsts := map[int64]bool{}, map[int64]bool{}
+	for _, m := range moves {
+		if origs[m.Orig] || dsts[m.Dst] {
+			t.Fatalf("duplicate in %+v", moves)
+		}
+		origs[m.Orig] = true
+		dsts[m.Dst] = true
+	}
+}
+
+func TestCylinderPolicyZeroSpc(t *testing.T) {
+	p := CylinderOrganPipe{}
+	if moves := p.Place(hotN(5, 4), figure3Slots(), 10, geom.Block8K); moves != nil {
+		t.Errorf("zero cylinder size produced %d moves", len(moves))
+	}
+}

@@ -1,0 +1,333 @@
+// Package core implements the adaptive block rearrangement system — the
+// primary contribution of "Adaptive Block Rearrangement" (Akyürek &
+// Salem, ICDE 1993) as realized by the UNIX implementation report.
+//
+// It contains the two user-level processes of Section 4.2 and the glue
+// that drives them against the modified driver:
+//
+//   - the reference stream analyzer, which periodically drains the
+//     driver's request-monitoring table into a hot list;
+//   - the block arranger, which selects the most frequently referenced
+//     blocks and decides where to place them in the reserved region
+//     using one of three placement policies (organ-pipe, interleaved,
+//     serial); and
+//   - the rearrangement controller, which runs the daily cycle: monitor
+//     one day's requests, then clean the reserved region and install the
+//     new hot blocks for the next day.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/hotlist"
+)
+
+// Move is one block-copy decision: copy the block at original physical
+// address Orig to reserved-region address Dst.
+type Move struct {
+	Orig int64
+	Dst  int64
+}
+
+// Policy decides where selected hot blocks go in the reserved region.
+type Policy interface {
+	// Name returns the policy name ("organ-pipe", "interleaved",
+	// "serial").
+	Name() string
+	// Place maps hot blocks (ordered by descending reference count) to
+	// reserved slots. slots holds the available block slots grouped per
+	// reserved cylinder, cylinders already in organ-pipe fill order
+	// (the order produced by driver.ReservedSlots). At most maxBlocks
+	// blocks are placed, and never more than fit in slots.
+	Place(hot []hotlist.BlockCount, slots [][]int64, maxBlocks int, bs geom.BlockSize) []Move
+}
+
+// NewPolicy returns a placement policy by name. The interleaved policy
+// is created with the default stride.
+func NewPolicy(name string) (Policy, error) {
+	switch name {
+	case "organ-pipe", "organpipe":
+		return OrganPipe{}, nil
+	case "interleaved":
+		return NewInterleaved(DefaultStride), nil
+	case "serial":
+		return Serial{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown placement policy %q", name)
+	}
+}
+
+// capBlocks bounds the hot list by the requested count and the available
+// slot capacity, dropping malformed (unaligned or negative) addresses.
+func capBlocks(hot []hotlist.BlockCount, slots [][]int64, maxBlocks int, bs geom.BlockSize) []hotlist.BlockCount {
+	var capacity int
+	for _, cyl := range slots {
+		capacity += len(cyl)
+	}
+	if maxBlocks > capacity {
+		maxBlocks = capacity
+	}
+	out := make([]hotlist.BlockCount, 0, maxBlocks)
+	seen := make(map[int64]bool)
+	align := int64(bs.Sectors())
+	for _, bc := range hot {
+		if len(out) == maxBlocks {
+			break
+		}
+		if bc.Block < 0 || bc.Block%align != 0 || seen[bc.Block] {
+			continue
+		}
+		seen[bc.Block] = true
+		out = append(out, bc)
+	}
+	return out
+}
+
+// OrganPipe places the hottest blocks on the middle reserved cylinder,
+// the next hottest on the adjacent cylinders, and so on, so the cylinder
+// reference distribution across the reserved region forms an organ pipe
+// (Section 2). The paper's headline results all use this policy.
+type OrganPipe struct{}
+
+// Name implements Policy.
+func (OrganPipe) Name() string { return "organ-pipe" }
+
+// Place implements Policy.
+func (OrganPipe) Place(hot []hotlist.BlockCount, slots [][]int64, maxBlocks int, bs geom.BlockSize) []Move {
+	hot = capBlocks(hot, slots, maxBlocks, bs)
+	moves := make([]Move, 0, len(hot))
+	i := 0
+	for _, cyl := range slots {
+		for _, dst := range cyl {
+			if i == len(hot) {
+				return moves
+			}
+			moves = append(moves, Move{Orig: hot[i].Block, Dst: dst})
+			i++
+		}
+	}
+	return moves
+}
+
+// DefaultStride is the default physical distance, in blocks, between
+// successive blocks of a file under the file system's rotational
+// interleaving: a one-block gap (Figure 3's assumption) means successive
+// file blocks sit two block positions apart.
+const DefaultStride = 2
+
+// Interleaved attempts to preserve the file system's rotational
+// interleaving inside the reserved region (Section 4.2). The driver has
+// no knowledge of files, so it guesses: block Y is the successor of
+// block X if Y's location is greater than X's by the interleaving
+// stride and Y's reference frequency is "close" to X's — at least 50%
+// (a figure the paper chose arbitrarily). Chains of successors are laid
+// out with the same stride inside a reserved cylinder; when a chain
+// breaks, the hottest remaining block starts a new one. Cylinders fill
+// in the same organ-pipe order as the organ-pipe policy.
+type Interleaved struct {
+	// Stride is the block distance that defines a successor, and the
+	// slot distance used when placing one.
+	Stride int
+	// CloseFrac is the minimum ratio of a successor's frequency to its
+	// predecessor's; the paper uses 0.5.
+	CloseFrac float64
+}
+
+// NewInterleaved returns an interleaved policy with the given stride and
+// the paper's 50% closeness rule.
+func NewInterleaved(stride int) Interleaved {
+	if stride < 1 {
+		stride = 1
+	}
+	return Interleaved{Stride: stride, CloseFrac: 0.5}
+}
+
+// Name implements Policy.
+func (Interleaved) Name() string { return "interleaved" }
+
+// Place implements Policy.
+func (p Interleaved) Place(hot []hotlist.BlockCount, slots [][]int64, maxBlocks int, bs geom.BlockSize) []Move {
+	hot = capBlocks(hot, slots, maxBlocks, bs)
+	if len(hot) == 0 {
+		return nil
+	}
+	// Index the unplaced hot blocks by address for successor lookups.
+	freq := make(map[int64]int64, len(hot))
+	placed := make(map[int64]bool, len(hot))
+	for _, bc := range hot {
+		freq[bc.Block] = bc.Count
+	}
+	strideSectors := int64(p.Stride * bs.Sectors())
+
+	moves := make([]Move, 0, len(hot))
+	next := 0 // index into hot of the next chain head candidate
+	nextHead := func() (hotlist.BlockCount, bool) {
+		for ; next < len(hot); next++ {
+			if !placed[hot[next].Block] {
+				bc := hot[next]
+				next++
+				return bc, true
+			}
+		}
+		return hotlist.BlockCount{}, false
+	}
+
+	for _, cyl := range slots {
+		occupied := make([]bool, len(cyl))
+		free := len(cyl)
+		firstFree := func() int {
+			for i, o := range occupied {
+				if !o {
+					return i
+				}
+			}
+			return -1
+		}
+		for free > 0 {
+			head, ok := nextHead()
+			if !ok {
+				return moves
+			}
+			idx := firstFree()
+			occupied[idx] = true
+			free--
+			placed[head.Block] = true
+			moves = append(moves, Move{Orig: head.Block, Dst: cyl[idx]})
+			// Follow the successor chain.
+			cur := head
+			for free > 0 {
+				succBlock := cur.Block + strideSectors
+				succCount, exists := freq[succBlock]
+				if !exists || placed[succBlock] ||
+					float64(succCount) < p.CloseFrac*float64(cur.Count) {
+					break // no successor
+				}
+				slot := idx + p.Stride
+				if slot >= len(cyl) || occupied[slot] {
+					break // successor cannot be placed
+				}
+				occupied[slot] = true
+				free--
+				placed[succBlock] = true
+				moves = append(moves, Move{Orig: succBlock, Dst: cyl[slot]})
+				idx = slot
+				cur = hotlist.BlockCount{Block: succBlock, Count: succCount}
+			}
+			// Chain ended; restart the head scan so skipped hot blocks
+			// get first chance at the remaining slots.
+			next = 0
+		}
+	}
+	return moves
+}
+
+// CylinderOrganPipe is the cylinder-granularity baseline of
+// [Vongsath 90], which the paper argues block granularity beats
+// (Section 1.1): reference counts are aggregated per source cylinder,
+// whole cylinders are ranked, and each reserved cylinder receives the
+// blocks of one source cylinder with their intra-cylinder layout
+// preserved. Same data volume as block rearrangement, coarser choice of
+// what to move.
+type CylinderOrganPipe struct {
+	// SectorsPerCyl is the disk's cylinder size, used to group blocks by
+	// source cylinder.
+	SectorsPerCyl int
+}
+
+// NewCylinderOrganPipe returns the cylinder-granularity policy for a
+// disk with the given cylinder size.
+func NewCylinderOrganPipe(sectorsPerCyl int) CylinderOrganPipe {
+	return CylinderOrganPipe{SectorsPerCyl: sectorsPerCyl}
+}
+
+// Name implements Policy.
+func (CylinderOrganPipe) Name() string { return "cylinder" }
+
+// Place implements Policy.
+func (p CylinderOrganPipe) Place(hot []hotlist.BlockCount, slots [][]int64, maxBlocks int, bs geom.BlockSize) []Move {
+	if p.SectorsPerCyl <= 0 {
+		return nil
+	}
+	hot = capBlocks(hot, slots, len(hot), bs)
+	// Aggregate reference counts per source cylinder.
+	type cylInfo struct {
+		count  int64
+		blocks []hotlist.BlockCount
+	}
+	cyls := make(map[int64]*cylInfo)
+	for _, bc := range hot {
+		c := bc.Block / int64(p.SectorsPerCyl)
+		ci := cyls[c]
+		if ci == nil {
+			ci = &cylInfo{}
+			cyls[c] = ci
+		}
+		ci.count += bc.Count
+		ci.blocks = append(ci.blocks, bc)
+	}
+	ranked := make([]int64, 0, len(cyls))
+	for c := range cyls {
+		ranked = append(ranked, c)
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		a, b := cyls[ranked[i]], cyls[ranked[j]]
+		if a.count != b.count {
+			return a.count > b.count
+		}
+		return ranked[i] < ranked[j]
+	})
+	// Each reserved cylinder (already in organ-pipe fill order) receives
+	// the observed blocks of one ranked source cylinder, in original
+	// intra-cylinder order.
+	var moves []Move
+	ri := 0
+	for _, cyl := range slots {
+		if ri == len(ranked) || len(moves) >= maxBlocks {
+			break
+		}
+		src := cyls[ranked[ri]]
+		ri++
+		blocks := src.blocks
+		sort.Slice(blocks, func(i, j int) bool { return blocks[i].Block < blocks[j].Block })
+		for i, bc := range blocks {
+			if i == len(cyl) || len(moves) >= maxBlocks {
+				break
+			}
+			moves = append(moves, Move{Orig: bc.Block, Dst: cyl[i]})
+		}
+	}
+	return moves
+}
+
+// Serial is the simplest policy: reference counts choose *which* blocks
+// to rearrange, but the selected blocks are placed in ascending order of
+// their original block numbers, ignoring frequency (Section 4.2). Its
+// poorer measured performance (Tables 7–9) shows that placement matters.
+type Serial struct{}
+
+// Name implements Policy.
+func (Serial) Name() string { return "serial" }
+
+// Place implements Policy.
+func (Serial) Place(hot []hotlist.BlockCount, slots [][]int64, maxBlocks int, bs geom.BlockSize) []Move {
+	hot = capBlocks(hot, slots, maxBlocks, bs)
+	origs := make([]int64, len(hot))
+	for i, bc := range hot {
+		origs[i] = bc.Block
+	}
+	sort.Slice(origs, func(i, j int) bool { return origs[i] < origs[j] })
+	// Destination slots in ascending sector order, regardless of the
+	// organ-pipe grouping.
+	var dsts []int64
+	for _, cyl := range slots {
+		dsts = append(dsts, cyl...)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	moves := make([]Move, 0, len(origs))
+	for i, orig := range origs {
+		moves = append(moves, Move{Orig: orig, Dst: dsts[i]})
+	}
+	return moves
+}

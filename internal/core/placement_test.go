@@ -1,0 +1,283 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/hotlist"
+)
+
+// figure3Slots builds a reserved region shaped like Figure 3 of the
+// paper: three cylinders of four block slots each, presented in
+// organ-pipe fill order (middle cylinder first). Slot addresses encode
+// cylinder c, slot s as (1000*c + 16*s) so tests can decode them.
+func figure3Slots() [][]int64 {
+	mk := func(c int) []int64 {
+		out := make([]int64, 4)
+		for s := range out {
+			out[s] = int64(1000*c + 16*s)
+		}
+		return out
+	}
+	return [][]int64{mk(1), mk(2), mk(0)} // middle, right, left
+}
+
+func hotN(counts ...int64) []hotlist.BlockCount {
+	out := make([]hotlist.BlockCount, len(counts))
+	for i, c := range counts {
+		out[i] = hotlist.BlockCount{Block: int64((i + 1) * 160), Count: c}
+	}
+	return out
+}
+
+func TestNewPolicy(t *testing.T) {
+	for _, name := range []string{"organ-pipe", "organpipe", "interleaved", "serial"} {
+		if _, err := NewPolicy(name); err != nil {
+			t.Errorf("NewPolicy(%q): %v", name, err)
+		}
+	}
+	if _, err := NewPolicy("random"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestOrganPipeFillsMiddleFirst(t *testing.T) {
+	slots := figure3Slots()
+	hot := hotN(100, 90, 80, 70, 60, 50, 40, 30, 20, 10, 5, 1)
+	moves := OrganPipe{}.Place(hot, slots, 12, geom.Block8K)
+	if len(moves) != 12 {
+		t.Fatalf("%d moves", len(moves))
+	}
+	// The four hottest land on cylinder 1 (the middle).
+	for i := 0; i < 4; i++ {
+		if moves[i].Dst/1000 != 1 {
+			t.Errorf("hot block %d placed on cylinder %d, want middle", i, moves[i].Dst/1000)
+		}
+		if moves[i].Orig != hot[i].Block {
+			t.Errorf("move %d places block %d, want %d", i, moves[i].Orig, hot[i].Block)
+		}
+	}
+	// Next four on cylinder 2, last four on cylinder 0.
+	for i := 4; i < 8; i++ {
+		if moves[i].Dst/1000 != 2 {
+			t.Errorf("block %d on cylinder %d, want 2", i, moves[i].Dst/1000)
+		}
+	}
+	for i := 8; i < 12; i++ {
+		if moves[i].Dst/1000 != 0 {
+			t.Errorf("block %d on cylinder %d, want 0", i, moves[i].Dst/1000)
+		}
+	}
+}
+
+func TestOrganPipeRespectsMaxBlocks(t *testing.T) {
+	moves := OrganPipe{}.Place(hotN(9, 8, 7, 6, 5), figure3Slots(), 3, geom.Block8K)
+	if len(moves) != 3 {
+		t.Errorf("%d moves, want 3", len(moves))
+	}
+}
+
+func TestOrganPipeRespectsCapacity(t *testing.T) {
+	hot := make([]hotlist.BlockCount, 100)
+	for i := range hot {
+		hot[i] = hotlist.BlockCount{Block: int64(i+1) * 160, Count: int64(100 - i)}
+	}
+	moves := OrganPipe{}.Place(hot, figure3Slots(), 100, geom.Block8K)
+	if len(moves) != 12 {
+		t.Errorf("%d moves, want capacity 12", len(moves))
+	}
+}
+
+func TestCapBlocksDropsMalformed(t *testing.T) {
+	hot := []hotlist.BlockCount{
+		{Block: 160, Count: 10},
+		{Block: 161, Count: 9}, // unaligned
+		{Block: -16, Count: 8}, // negative
+		{Block: 160, Count: 7}, // duplicate
+		{Block: 320, Count: 6},
+	}
+	moves := OrganPipe{}.Place(hot, figure3Slots(), 10, geom.Block8K)
+	if len(moves) != 2 {
+		t.Fatalf("%d moves, want 2", len(moves))
+	}
+	if moves[0].Orig != 160 || moves[1].Orig != 320 {
+		t.Errorf("moves = %+v", moves)
+	}
+}
+
+func TestSerialPlacesInAddressOrder(t *testing.T) {
+	hot := []hotlist.BlockCount{
+		{Block: 4800, Count: 100},
+		{Block: 160, Count: 90},
+		{Block: 3200, Count: 80},
+	}
+	moves := Serial{}.Place(hot, figure3Slots(), 10, geom.Block8K)
+	if len(moves) != 3 {
+		t.Fatalf("%d moves", len(moves))
+	}
+	// Origs ascending.
+	if moves[0].Orig != 160 || moves[1].Orig != 3200 || moves[2].Orig != 4800 {
+		t.Errorf("orig order = %v %v %v", moves[0].Orig, moves[1].Orig, moves[2].Orig)
+	}
+	// Destinations ascending by sector (cylinder 0 first), regardless of
+	// organ-pipe grouping.
+	if !(moves[0].Dst < moves[1].Dst && moves[1].Dst < moves[2].Dst) {
+		t.Errorf("dst order = %v %v %v", moves[0].Dst, moves[1].Dst, moves[2].Dst)
+	}
+	if moves[0].Dst/1000 != 0 {
+		t.Errorf("first serial slot on cylinder %d, want 0", moves[0].Dst/1000)
+	}
+}
+
+func TestInterleavedPlacesChains(t *testing.T) {
+	// Blocks 160 and 160+2*16=192 form a successor pair (stride 2,
+	// frequencies within 50%); they must be placed stride slots apart in
+	// the middle cylinder.
+	hot := []hotlist.BlockCount{
+		{Block: 160, Count: 100},
+		{Block: 192, Count: 60}, // successor of 160 (60 >= 50)
+		{Block: 9600, Count: 50},
+	}
+	p := NewInterleaved(2)
+	moves := p.Place(hot, figure3Slots(), 10, geom.Block8K)
+	if len(moves) != 3 {
+		t.Fatalf("%d moves: %+v", len(moves), moves)
+	}
+	byOrig := map[int64]int64{}
+	for _, m := range moves {
+		byOrig[m.Orig] = m.Dst
+	}
+	d0, d1 := byOrig[160], byOrig[192]
+	if d0/1000 != 1 || d1/1000 != 1 {
+		t.Fatalf("chain not on middle cylinder: %v %v", d0, d1)
+	}
+	// Slot indices differ by the stride.
+	if (d1%1000)/16-(d0%1000)/16 != 2 {
+		t.Errorf("chain members %d and %d not separated by stride", d0, d1)
+	}
+}
+
+func TestInterleavedBreaksChainOnFrequency(t *testing.T) {
+	// 192's count is below 50% of 160's, so it is NOT a successor; it is
+	// placed as its own chain head at the next free slot instead.
+	hot := []hotlist.BlockCount{
+		{Block: 160, Count: 100},
+		{Block: 192, Count: 20},
+	}
+	p := NewInterleaved(2)
+	moves := p.Place(hot, figure3Slots(), 10, geom.Block8K)
+	byOrig := map[int64]int64{}
+	for _, m := range moves {
+		byOrig[m.Orig] = m.Dst
+	}
+	if (byOrig[192]%1000)/16-(byOrig[160]%1000)/16 == 2 {
+		t.Error("non-successor was chained")
+	}
+	// Both are still placed (as separate chain heads).
+	if len(moves) != 2 {
+		t.Errorf("%d moves", len(moves))
+	}
+}
+
+func TestInterleavedChainStopsAtCylinderEdge(t *testing.T) {
+	// A long chain cannot run past the end of a cylinder: the chain
+	// breaks and the rest start fresh.
+	hot := []hotlist.BlockCount{
+		{Block: 160, Count: 100},
+		{Block: 192, Count: 90},
+		{Block: 224, Count: 80},
+		{Block: 256, Count: 70},
+	}
+	p := NewInterleaved(2)
+	moves := p.Place(hot, figure3Slots(), 10, geom.Block8K)
+	if len(moves) != 4 {
+		t.Fatalf("%d moves", len(moves))
+	}
+	// Slots per cylinder = 4, stride 2: chain fits 160@0, 192@2, then
+	// 224 would need slot 4 (out of range) -> becomes a new head at
+	// slot 1, and 256 chains from it to slot 3.
+	byOrig := map[int64]int64{}
+	for _, m := range moves {
+		byOrig[m.Orig] = m.Dst
+	}
+	slot := func(b int64) int64 { return (byOrig[b] % 1000) / 16 }
+	if slot(160) != 0 || slot(192) != 2 || slot(224) != 1 || slot(256) != 3 {
+		t.Errorf("slots = %d %d %d %d", slot(160), slot(192), slot(224), slot(256))
+	}
+	// All on the middle cylinder.
+	for _, b := range []int64{160, 192, 224, 256} {
+		if byOrig[b]/1000 != 1 {
+			t.Errorf("block %d on cylinder %d", b, byOrig[b]/1000)
+		}
+	}
+}
+
+func TestInterleavedStrideFloor(t *testing.T) {
+	p := NewInterleaved(0)
+	if p.Stride != 1 {
+		t.Errorf("stride floor = %d", p.Stride)
+	}
+}
+
+func TestPoliciesNeverDuplicateSlotsOrBlocks(t *testing.T) {
+	policies := []Policy{OrganPipe{}, NewInterleaved(2), Serial{}}
+	f := func(raw []uint16, maxRaw uint8) bool {
+		hot := make([]hotlist.BlockCount, 0, len(raw))
+		for i, r := range raw {
+			hot = append(hot, hotlist.BlockCount{
+				Block: int64(r) * 16,
+				Count: int64(len(raw) - i),
+			})
+		}
+		max := int(maxRaw)%16 + 1
+		for _, p := range policies {
+			moves := p.Place(hot, figure3Slots(), max, geom.Block8K)
+			if len(moves) > max || len(moves) > 12 {
+				return false
+			}
+			origs := map[int64]bool{}
+			dsts := map[int64]bool{}
+			for _, m := range moves {
+				if origs[m.Orig] || dsts[m.Dst] {
+					return false
+				}
+				origs[m.Orig] = true
+				dsts[m.Dst] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoliciesPlaceOnlyGivenSlots(t *testing.T) {
+	slots := figure3Slots()
+	valid := map[int64]bool{}
+	for _, cyl := range slots {
+		for _, s := range cyl {
+			valid[s] = true
+		}
+	}
+	hot := hotN(12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1)
+	for _, p := range []Policy{OrganPipe{}, NewInterleaved(2), Serial{}} {
+		for _, m := range p.Place(hot, slots, 100, geom.Block8K) {
+			if !valid[m.Dst] {
+				t.Errorf("%s placed a block at %d, not a reserved slot", p.Name(), m.Dst)
+			}
+		}
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	for _, p := range []Policy{OrganPipe{}, NewInterleaved(2), Serial{}} {
+		if moves := p.Place(nil, figure3Slots(), 10, geom.Block8K); len(moves) != 0 {
+			t.Errorf("%s placed %d moves from empty hot list", p.Name(), len(moves))
+		}
+		if moves := p.Place(hotN(5, 4), nil, 10, geom.Block8K); len(moves) != 0 {
+			t.Errorf("%s placed %d moves with no slots", p.Name(), len(moves))
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/driver"
+	"repro/internal/hotlist"
+	"repro/internal/sim"
+)
+
+// DefaultPollPeriodMS is the analyzer's request-table polling period:
+// two minutes, the period used in the paper's experiments (Section
+// 4.1.4), short enough that recording was almost never suspended.
+const DefaultPollPeriodMS = 2 * 60 * 1000
+
+// Config carries rearranger tunables.
+type Config struct {
+	// Policy is the placement policy; nil selects organ-pipe.
+	Policy Policy
+	// Counter accumulates reference counts; nil selects an exact
+	// counter (the paper's analyzer list was large enough that
+	// replacement was rarely necessary).
+	Counter hotlist.Counter
+	// MaxBlocks caps how many blocks are rearranged per cycle; zero
+	// means "as many as fit in the reserved region".
+	MaxBlocks int
+	// PollPeriodMS is the analyzer polling period; zero selects the
+	// paper's two minutes.
+	PollPeriodMS float64
+	// CountWrites controls whether write references contribute to the
+	// hot list. The paper's analyzer counts all references.
+	CountWrites bool
+	// CountReads controls whether read references contribute. Both
+	// flags default to true via New.
+	CountReads bool
+}
+
+// Rearranger is the adaptive block rearrangement controller: the
+// user-level analyzer and arranger of Section 4.2 driving the modified
+// driver's ioctls.
+type Rearranger struct {
+	eng *sim.Engine
+	drv *driver.Driver
+	cfg Config
+
+	monitoring bool
+	pollSeq    int // invalidates scheduled polls on stop
+	missed     int64
+}
+
+// New returns a rearranger for the given driver.
+func New(eng *sim.Engine, drv *driver.Driver, cfg Config) (*Rearranger, error) {
+	if !drv.Rearranged() {
+		return nil, fmt.Errorf("core: driver's disk has no reserved region")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = OrganPipe{}
+	}
+	if cfg.Counter == nil {
+		cfg.Counter = hotlist.NewExact()
+	}
+	if cfg.PollPeriodMS <= 0 {
+		cfg.PollPeriodMS = DefaultPollPeriodMS
+	}
+	if !cfg.CountWrites && !cfg.CountReads {
+		cfg.CountWrites, cfg.CountReads = true, true
+	}
+	if cfg.MaxBlocks <= 0 {
+		var capacity int
+		for _, cyl := range drv.ReservedSlots() {
+			capacity += len(cyl)
+		}
+		cfg.MaxBlocks = capacity
+	}
+	return &Rearranger{eng: eng, drv: drv, cfg: cfg}, nil
+}
+
+// Policy returns the placement policy in use.
+func (r *Rearranger) Policy() Policy { return r.cfg.Policy }
+
+// Counter returns the reference counter in use, for inspection of the
+// accumulated block-access distribution.
+func (r *Rearranger) Counter() hotlist.Counter { return r.cfg.Counter }
+
+// StartMonitoring begins periodic polling of the driver's request table,
+// as the reference stream analyzer process does while the system runs.
+func (r *Rearranger) StartMonitoring() {
+	if r.monitoring {
+		return
+	}
+	r.monitoring = true
+	r.pollSeq++
+	seq := r.pollSeq
+	var tick func()
+	tick = func() {
+		if !r.monitoring || seq != r.pollSeq {
+			return
+		}
+		r.Poll()
+		r.eng.After(r.cfg.PollPeriodMS, tick)
+	}
+	r.eng.After(r.cfg.PollPeriodMS, tick)
+}
+
+// StopMonitoring stops the periodic polling and performs a final drain
+// so no recorded requests are lost.
+func (r *Rearranger) StopMonitoring() {
+	if !r.monitoring {
+		return
+	}
+	r.monitoring = false
+	r.pollSeq++
+	r.Poll()
+}
+
+// Poll drains the driver's request table into the reference counter —
+// one analyzer wake-up.
+func (r *Rearranger) Poll() {
+	recs, missed := r.drv.ReadRequestTable()
+	r.missed += missed
+	for _, rec := range recs {
+		if rec.Write && !r.cfg.CountWrites {
+			continue
+		}
+		if !rec.Write && !r.cfg.CountReads {
+			continue
+		}
+		r.cfg.Counter.Observe(rec.Sector)
+	}
+}
+
+// Missed returns how many requests were lost to a full request table —
+// near zero when the polling period is adequate.
+func (r *Rearranger) Missed() int64 { return r.missed }
+
+// HotList returns the current top blocks by estimated reference count.
+func (r *Rearranger) HotList() []hotlist.BlockCount {
+	return r.cfg.Counter.Top(r.cfg.MaxBlocks)
+}
+
+// ResetCounts clears the reference counter, starting a new measurement
+// window (the paper rebuilds its hot list from each day's references).
+func (r *Rearranger) ResetCounts() { r.cfg.Counter.Reset() }
+
+// Rearrange runs one rearrangement cycle: it cleans the reserved region
+// (returning any dirty blocks to their original locations), computes the
+// placement of the current hot list, and copies the selected blocks into
+// the reserved region. done receives the number of blocks installed.
+// The copies go through the ordinary device queue and interleave with
+// other traffic, exactly as the ioctl-driven arranger does.
+func (r *Rearranger) Rearrange(done func(moves int, err error)) {
+	hot := r.HotList()
+	r.drv.Clean(func(err error) {
+		if err != nil {
+			finish(done, 0, fmt.Errorf("core: cleaning reserved region: %w", err))
+			return
+		}
+		moves := r.cfg.Policy.Place(hot, r.drv.ReservedSlots(), r.cfg.MaxBlocks, r.drv.BlockSize())
+		r.copyNext(moves, 0, done)
+	})
+}
+
+// RearrangeIncremental runs one rearrangement cycle like Rearrange, but
+// computes the difference against the blocks already in the reserved
+// region and only moves what changed: blocks that keep their reserved
+// slot stay put, stale blocks are cleaned out individually, and only new
+// or relocated blocks are copied. Because access patterns change slowly,
+// the daily difference is small, so the cycle costs a fraction of the
+// I/O of a full Clean+copy — the incremental-rearrangement benefit the
+// paper credits block granularity with (Section 1.1). done receives the
+// number of blocks copied in (kept blocks are not counted).
+func (r *Rearranger) RearrangeIncremental(done func(moved int, err error)) {
+	hot := r.HotList()
+	moves := r.cfg.Policy.Place(hot, r.drv.ReservedSlots(), r.cfg.MaxBlocks, r.drv.BlockSize())
+	desired := make(map[int64]int64, len(moves)) // orig -> dst
+	for _, m := range moves {
+		desired[m.Orig] = m.Dst
+	}
+	// Split the work: stale entries to clean, changed/new blocks to copy.
+	var toClean []int64
+	for _, e := range r.drv.BlockTable() {
+		if dst, ok := desired[e.Orig]; ok && dst == e.New {
+			delete(desired, e.Orig) // already in place
+			continue
+		}
+		toClean = append(toClean, e.Orig)
+	}
+	var toCopy []Move
+	for _, m := range moves {
+		if _, ok := desired[m.Orig]; ok {
+			toCopy = append(toCopy, m)
+		}
+	}
+	var cleanNext func(i int)
+	cleanNext = func(i int) {
+		if i == len(toClean) {
+			r.copyNext(toCopy, 0, done)
+			return
+		}
+		r.drv.BClean(toClean[i], func(err error) {
+			if err != nil {
+				finish(done, 0, fmt.Errorf("core: incremental clean of block %d: %w", toClean[i], err))
+				return
+			}
+			cleanNext(i + 1)
+		})
+	}
+	cleanNext(0)
+}
+
+// CleanOnly empties the reserved region without installing new blocks —
+// used on the "off" days of the paper's alternating experiments.
+func (r *Rearranger) CleanOnly(done func(err error)) {
+	r.drv.Clean(func(err error) {
+		if done != nil {
+			done(err)
+		}
+	})
+}
+
+func (r *Rearranger) copyNext(moves []Move, i int, done func(int, error)) {
+	if i >= len(moves) {
+		finish(done, len(moves), nil)
+		return
+	}
+	r.drv.BCopy(moves[i].Orig, moves[i].Dst, func(err error) {
+		if err != nil {
+			finish(done, i, fmt.Errorf("core: copying block %d: %w", moves[i].Orig, err))
+			return
+		}
+		r.copyNext(moves, i+1, done)
+	})
+}
+
+func finish(done func(int, error), n int, err error) {
+	if done != nil {
+		done(n, err)
+	}
+}

@@ -1,0 +1,471 @@
+// Package driver implements the modified SCSI disk driver of Sections 3.2
+// and 4.1 of "Adaptive Block Rearrangement Under UNIX".
+//
+// The driver sits between the file system and the disk model. Its
+// strategy routine converts logical (partition-relative) block addresses
+// to physical sector addresses, applies the virtual-disk mapping that
+// hides the reserved cylinders, consults the block table to redirect
+// requests for rearranged blocks, and enqueues the operation on the
+// device queue. Queued operations are dispatched by a head-scheduling
+// policy (SCAN by default, as in SunOS) and serviced one at a time by
+// the disk model; completions fire in simulated time.
+//
+// The driver also provides the kernel entry points of Section 4.1.3–4.1.5:
+//
+//   - BCopy and Clean, the DKIOCBCOPY/DKIOCCLEAN ioctls used by the
+//     user-level block arranger to move blocks into and out of the
+//     reserved region;
+//   - a request-monitoring table that records the original address and
+//     size of every request, drained periodically by the reference
+//     stream analyzer;
+//   - performance monitoring: seek-distance distributions in arrival
+//     and scheduled order, and service- and queueing-time distributions,
+//     kept separately for reads and writes.
+package driver
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/blocktable"
+	"repro/internal/disk"
+	"repro/internal/geom"
+	"repro/internal/label"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Config carries driver tunables.
+type Config struct {
+	// Sched is the head-scheduling policy; nil selects SCAN.
+	Sched sched.Scheduler
+	// BlockSize is the file system block size; zero selects 8 KB.
+	BlockSize geom.BlockSize
+	// RequestTableSize caps the request-monitoring table; when the table
+	// fills before being read, recording is suspended (Section 4.1.4).
+	// Zero selects 65536 entries.
+	RequestTableSize int
+	// HistMaxMS is the bucket range of the time histograms in
+	// milliseconds; zero selects 4000.
+	HistMaxMS int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Sched == nil {
+		c.Sched = sched.NewSCAN()
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = geom.Block8K
+	}
+	if c.RequestTableSize == 0 {
+		c.RequestTableSize = 65536
+	}
+	if c.HistMaxMS == 0 {
+		c.HistMaxMS = 4000
+	}
+	return c
+}
+
+// Errors returned by driver entry points.
+var (
+	ErrNotRearranged = errors.New("driver: disk is not initialized for rearrangement")
+	ErrBadBlock      = errors.New("driver: block address out of range")
+	ErrNotAligned    = errors.New("driver: address not block-aligned")
+)
+
+// DoneFunc is the completion callback of an asynchronous request. For
+// reads, data holds the returned bytes; for writes data is nil.
+type DoneFunc func(data []byte, err error)
+
+// ioreq is one queued device operation.
+type ioreq struct {
+	write    bool
+	internal bool  // driver-generated (block movement, table writes)
+	orig     int64 // pre-redirect physical sector (monitoring identity)
+	sector   int64 // post-redirect physical target sector
+	count    int   // sectors
+	data     []byte
+	arriveMS float64
+	cyl      int
+	done     DoneFunc
+}
+
+// Cylinder implements sched.Cylindered.
+func (r *ioreq) Cylinder() int { return r.cyl }
+
+// Driver is one device instance. It is single-threaded: all entry points
+// must be called from the simulation goroutine, exactly as a real
+// driver's top half is serialized by the kernel.
+type Driver struct {
+	eng *sim.Engine
+	dsk *disk.Disk
+	lbl *label.Label
+	bt  *blocktable.Table
+	cfg Config
+
+	queue []*ioreq
+	busy  bool
+
+	// Blocks currently being moved by BCopy/Clean; requests targeting
+	// them are delayed until movement completes (Section 4.1.3).
+	moving  map[int64][]*pendingStrategy
+	tableAt int64 // physical sector of the on-disk block table
+
+	mon   *monitor
+	stats *Stats
+	tap   func(write bool, part int, block int64)
+
+	// fcfsCyl tracks the cylinder of the previous arrival (in original,
+	// unrearranged coordinates) for the arrival-order seek-distance
+	// distribution.
+	fcfsCyl      int
+	haveFCFSPrev bool
+}
+
+// pendingStrategy is a request delayed behind an in-flight block move.
+type pendingStrategy struct {
+	write bool
+	vsec  int64
+	count int
+	data  []byte
+	done  DoneFunc
+}
+
+// Attach initializes a driver for the given disk, reading the disk label
+// and, for a rearranged disk, the on-disk block table — exactly what the
+// paper's modified attach routine does at system start-up. recover
+// selects the conservative crash-recovery path that marks all block
+// table entries dirty.
+func Attach(eng *sim.Engine, dsk *disk.Disk, cfg Config, recover bool) (*Driver, error) {
+	cfg = cfg.withDefaults()
+	lblBuf := dsk.PeekData(label.LabelSector, 1)
+	lbl, err := label.Decode(lblBuf)
+	if err != nil {
+		return nil, fmt.Errorf("driver attach: %w", err)
+	}
+	d := &Driver{
+		eng:    eng,
+		dsk:    dsk,
+		lbl:    lbl,
+		cfg:    cfg,
+		moving: make(map[int64][]*pendingStrategy),
+		mon:    newMonitor(cfg.RequestTableSize),
+		stats:  newStats(cfg.HistMaxMS),
+	}
+	if err := lbl.CheckBlockAligned(cfg.BlockSize.Sectors()); err != nil {
+		return nil, fmt.Errorf("driver attach: %w", err)
+	}
+	if lbl.Rearranged {
+		d.tableAt = lbl.ReservedStart
+		img := dsk.PeekData(d.tableAt, tableSectors(cfg.BlockSize))
+		var bt *blocktable.Table
+		if recover {
+			bt, err = blocktable.RecoverDecode(img)
+		} else {
+			bt, err = blocktable.Decode(img)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("driver attach: reading block table: %w", err)
+		}
+		if bt.BlockSectors() != cfg.BlockSize.Sectors() {
+			return nil, fmt.Errorf("driver attach: block table block size %d sectors, driver uses %d",
+				bt.BlockSectors(), cfg.BlockSize.Sectors())
+		}
+		d.bt = bt
+	}
+	return d, nil
+}
+
+// tableSectors is the fixed on-disk allocation for the block table at
+// the start of the reserved region: room for 16k entries.
+func tableSectors(bs geom.BlockSize) int {
+	return blocktable.EncodedSectors(maxTableEntries)
+}
+
+// maxTableEntries bounds the number of rearranged blocks; 16384 entries
+// comfortably exceeds the paper's largest configuration (3500 blocks).
+const maxTableEntries = 16384
+
+// TableSectors reports the reserved-area prefix (in sectors) occupied by
+// the on-disk block table. Placement policies must not allocate reserved
+// slots inside this prefix.
+func TableSectors(bs geom.BlockSize) int { return tableSectors(bs) }
+
+// Label returns the decoded disk label.
+func (d *Driver) Label() *label.Label { return d.lbl }
+
+// Disk returns the underlying disk model.
+func (d *Driver) Disk() *disk.Disk { return d.dsk }
+
+// BlockSize returns the configured file system block size.
+func (d *Driver) BlockSize() geom.BlockSize { return d.cfg.BlockSize }
+
+// Rearranged reports whether the attached disk has a reserved region.
+func (d *Driver) Rearranged() bool { return d.lbl.Rearranged }
+
+// BlockTableLen returns the number of currently rearranged blocks.
+func (d *Driver) BlockTableLen() int {
+	if d.bt == nil {
+		return 0
+	}
+	return d.bt.Len()
+}
+
+// BlockTable returns a copy of the current block table entries, sorted
+// by original address. Incremental rearrangement diffs against it.
+func (d *Driver) BlockTable() []blocktable.Entry {
+	if d.bt == nil {
+		return nil
+	}
+	return d.bt.Entries()
+}
+
+// QueueLen returns the number of requests waiting in the device queue
+// (not counting the one being serviced).
+func (d *Driver) QueueLen() int { return len(d.queue) }
+
+// ReadBlock issues a read of one file system block: partition-relative
+// block number blk on partition part. done fires at completion in
+// simulated time.
+func (d *Driver) ReadBlock(part int, blk int64, done DoneFunc) {
+	d.blockIO(false, part, blk, nil, done)
+}
+
+// WriteBlock issues a write of one file system block. data must be one
+// block long.
+func (d *Driver) WriteBlock(part int, blk int64, data []byte, done DoneFunc) {
+	if len(data) != d.cfg.BlockSize.Bytes() {
+		d.fail(done, fmt.Errorf("driver: write of %d bytes, block size is %d", len(data), d.cfg.BlockSize.Bytes()))
+		return
+	}
+	d.blockIO(true, part, blk, data, done)
+}
+
+// blockIO validates a file system block request and passes it to
+// strategy. The file system requests at most one block per call, so a
+// request can never be partially rearranged (Section 4.1.2).
+func (d *Driver) blockIO(write bool, part int, blk int64, data []byte, done DoneFunc) {
+	p, err := d.lbl.Partition(part)
+	if err != nil {
+		d.fail(done, err)
+		return
+	}
+	bsec := int64(d.cfg.BlockSize.Sectors())
+	if blk < 0 || (blk+1)*bsec > p.Size {
+		d.fail(done, fmt.Errorf("%w: block %d of partition %d (%d sectors)", ErrBadBlock, blk, part, p.Size))
+		return
+	}
+	if d.tap != nil {
+		d.tap(write, part, blk)
+	}
+	vsec := p.Start + blk*bsec
+	d.strategy(write, vsec, int(bsec), data, done)
+}
+
+// SetTap registers a function invoked for every file system block
+// request with its partition-relative address, before any translation.
+// Trace capture uses it; pass nil to remove the tap.
+func (d *Driver) SetTap(tap func(write bool, part int, block int64)) { d.tap = tap }
+
+// Physio issues a raw-interface request addressed in virtual-disk
+// sectors. Large requests are broken into block-sized subrequests so
+// that a request can never straddle a rearranged/unrearranged boundary
+// (Section 4.1.2); done fires once, after the last subrequest, with the
+// concatenated data for reads.
+func (d *Driver) Physio(write bool, vsector int64, count int, data []byte, done DoneFunc) {
+	if count <= 0 || vsector < 0 || vsector+int64(count) > d.lbl.VirtualSectors() {
+		d.fail(done, fmt.Errorf("%w: raw range [%d, %d)", ErrBadBlock, vsector, vsector+int64(count)))
+		return
+	}
+	if write && len(data) != count*geom.SectorSize {
+		d.fail(done, fmt.Errorf("driver: raw write of %d sectors with %d bytes", count, len(data)))
+		return
+	}
+	bsec := int64(d.cfg.BlockSize.Sectors())
+	type piece struct {
+		vsec  int64
+		count int
+	}
+	var pieces []piece
+	for s := vsector; s < vsector+int64(count); {
+		// Split at block boundaries of the virtual disk.
+		next := (s/bsec + 1) * bsec
+		if end := vsector + int64(count); next > end {
+			next = end
+		}
+		pieces = append(pieces, piece{vsec: s, count: int(next - s)})
+		s = next
+	}
+	out := make([]byte, count*geom.SectorSize)
+	remaining := len(pieces)
+	var firstErr error
+	off := 0
+	for _, pc := range pieces {
+		pc := pc
+		pcOff := off
+		var wdata []byte
+		if write {
+			wdata = data[pcOff : pcOff+pc.count*geom.SectorSize]
+		}
+		d.strategy(write, pc.vsec, pc.count, wdata, func(rdata []byte, err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if !write && err == nil {
+				copy(out[pcOff:], rdata)
+			}
+			remaining--
+			if remaining == 0 && done != nil {
+				if write {
+					done(nil, firstErr)
+				} else {
+					done(out, firstErr)
+				}
+			}
+		})
+		off += pc.count * geom.SectorSize
+	}
+}
+
+// strategy is the heart of the driver (Section 4.1.2): it maps the
+// virtual address to a physical address, redirects through the block
+// table, records the request in the monitoring table, and enqueues it.
+func (d *Driver) strategy(write bool, vsec int64, count int, data []byte, done DoneFunc) {
+	psec := d.lbl.MapVirtual(vsec)
+
+	// Identify the containing block in original physical coordinates;
+	// this is the identity used by monitoring and the block table.
+	bsec := int64(d.cfg.BlockSize.Sectors())
+	blockStart := psec - psec%bsec
+
+	// Requests for a block that is being moved are delayed temporarily
+	// (Section 4.1.3) and re-run when the move completes.
+	if waiters, ok := d.moving[blockStart]; ok {
+		d.moving[blockStart] = append(waiters, &pendingStrategy{
+			write: write, vsec: vsec, count: count, data: data, done: done,
+		})
+		return
+	}
+
+	target := psec
+	redirected := false
+	if d.bt != nil {
+		if newStart, ok := d.bt.Lookup(blockStart); ok {
+			target = newStart + (psec - blockStart)
+			redirected = true
+			if write {
+				d.bt.MarkDirty(blockStart)
+			}
+		}
+	}
+	if redirected {
+		d.stats.side(write).Redirected++
+	}
+
+	d.mon.record(blockStart, count, write)
+	d.recordArrival(blockStart, write)
+	d.enqueue(&ioreq{
+		write:    write,
+		orig:     blockStart,
+		sector:   target,
+		count:    count,
+		data:     data,
+		arriveMS: d.eng.Now(),
+		cyl:      d.dsk.Geom().CylinderOf(target),
+		done:     done,
+	})
+}
+
+// recordArrival updates the arrival-order (FCFS, unrearranged) seek
+// distance distribution: the distances that would have been observed had
+// requests been served in arrival order with no block rearrangement
+// (Table 3's highlighted rows).
+func (d *Driver) recordArrival(origSector int64, write bool) {
+	cyl := d.dsk.Geom().CylinderOf(origSector)
+	if d.haveFCFSPrev {
+		d.stats.side(write).FCFSDist.Add(cyl - d.fcfsCyl)
+	}
+	d.fcfsCyl = cyl
+	d.haveFCFSPrev = true
+}
+
+// enqueue adds a request to the device queue and starts the device if it
+// is idle, mirroring the strategy/start split of the SunOS driver.
+func (d *Driver) enqueue(r *ioreq) {
+	d.queue = append(d.queue, r)
+	if !d.busy {
+		d.start()
+	}
+}
+
+// start dispatches the next request chosen by the scheduling policy and
+// schedules its completion interrupt.
+func (d *Driver) start() {
+	if len(d.queue) == 0 {
+		d.busy = false
+		return
+	}
+	d.busy = true
+	cands := make([]sched.Cylindered, len(d.queue))
+	for i, r := range d.queue {
+		cands[i] = r
+	}
+	idx := d.cfg.Sched.Pick(d.dsk.HeadCylinder(), cands)
+	r := d.queue[idx]
+	d.queue = append(d.queue[:idx], d.queue[idx+1:]...)
+
+	startMS := d.eng.Now()
+	var t disk.Timing
+	var rdata []byte
+	var err error
+	if r.write {
+		t, err = d.dsk.Write(startMS, r.sector, r.count, r.data)
+	} else {
+		rdata, t, err = d.dsk.Read(startMS, r.sector, r.count)
+	}
+	if err != nil {
+		// Address errors surface immediately; the device stays usable.
+		d.eng.After(0, func() {
+			if r.done != nil {
+				r.done(nil, err)
+			}
+			d.start()
+		})
+		return
+	}
+	d.eng.After(t.TotalMS(), func() { d.interrupt(r, rdata, t, startMS) })
+}
+
+// interrupt is the completion handler: it records statistics, completes
+// the request, and starts the next queued operation.
+func (d *Driver) interrupt(r *ioreq, rdata []byte, t disk.Timing, startMS float64) {
+	if !r.internal {
+		side := d.stats.side(r.write)
+		side.SchedDist.Add(t.SeekDist)
+		side.SeekMS += t.SeekMS
+		side.RotMS += t.RotMS
+		side.TransferMS += t.TransferMS
+		side.Service.Add(d.eng.Now() - startMS)
+		side.Queueing.Add(startMS - r.arriveMS)
+		if t.BufferHit {
+			side.BufferHits++
+		}
+	}
+	if r.done != nil {
+		if r.write {
+			r.done(nil, nil)
+		} else {
+			r.done(rdata, nil)
+		}
+	}
+	d.start()
+}
+
+// fail delivers an immediate asynchronous error.
+func (d *Driver) fail(done DoneFunc, err error) {
+	d.eng.After(0, func() {
+		if done != nil {
+			done(nil, err)
+		}
+	})
+}

@@ -1,0 +1,392 @@
+package experiment
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// Shared compressed runs: the shape assertions all reuse these, so the
+// expensive simulations execute once per test binary.
+var (
+	onceSys sync.Once
+	resSys  *OnOff
+	errSys  error
+
+	onceUsr sync.Once
+	resUsr  *OnOff
+	errUsr  error
+)
+
+func testOpts() Options {
+	return Options{Days: 4, WindowMS: 1 * workload.HourMS}
+}
+
+func systemRuns(t *testing.T) *OnOff {
+	t.Helper()
+	onceSys.Do(func() { resSys, errSys = RunOnOff("system", testOpts()) })
+	if errSys != nil {
+		t.Fatal(errSys)
+	}
+	return resSys
+}
+
+func usersRuns(t *testing.T) *OnOff {
+	t.Helper()
+	onceUsr.Do(func() { resUsr, errUsr = RunOnOff("users", testOpts()) })
+	if errUsr != nil {
+		t.Fatal(errUsr)
+	}
+	return resUsr
+}
+
+func TestExecuteValidation(t *testing.T) {
+	if _, err := Execute(Setup{DiskName: "ibm"}); err == nil {
+		t.Error("unknown disk accepted")
+	}
+	if _, err := Execute(Setup{FSName: "scratch"}); err == nil {
+		t.Error("unknown fs accepted")
+	}
+	if _, err := Execute(Setup{Policy: "random"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := Execute(Setup{Sched: "elevator"}); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}
+
+func TestExecuteBasics(t *testing.T) {
+	res := systemRuns(t)
+	for _, run := range []*Run{res.Toshiba, res.Fujitsu} {
+		if len(run.Days) != 4 {
+			t.Fatalf("%s: %d days", run.Setup.DiskName, len(run.Days))
+		}
+		if run.WorkloadErrors != 0 {
+			t.Errorf("%s: %d workload errors", run.Setup.DiskName, run.WorkloadErrors)
+		}
+		// Alternation: day 0 off, day 1 on, ...
+		for i, d := range run.Days {
+			if d.On != (i%2 == 1) {
+				t.Errorf("%s day %d: on=%v", run.Setup.DiskName, i, d.On)
+			}
+			if d.Stats.All().Count() == 0 {
+				t.Errorf("%s day %d: no requests measured", run.Setup.DiskName, i)
+			}
+			if len(d.AccessDist) == 0 || len(d.ReadDist) == 0 {
+				t.Errorf("%s day %d: missing access distributions", run.Setup.DiskName, i)
+			}
+		}
+		// Rearrangements installed blocks on each on-day.
+		if len(run.Installed) == 0 {
+			t.Fatalf("%s: no rearrangements recorded", run.Setup.DiskName)
+		}
+		for _, n := range run.Installed {
+			if n < 500 {
+				t.Errorf("%s: only %d blocks installed", run.Setup.DiskName, n)
+			}
+		}
+	}
+}
+
+func TestSystemSeekReduction(t *testing.T) {
+	// The headline result (Table 2): rearrangement cuts seek times
+	// heavily on both disks — the paper measures ~90%; we require >=60%
+	// under the compressed test window.
+	res := systemRuns(t)
+	for _, run := range []*Run{res.Toshiba, res.Fujitsu} {
+		off := Summarize(run.OffDays(), run.Curve, AllRequests)
+		on := Summarize(run.OnDays(), run.Curve, AllRequests)
+		if on.Seek.Avg() >= 0.4*off.Seek.Avg() {
+			t.Errorf("%s: seek %.2f -> %.2f ms, want >=60%% reduction",
+				run.Setup.DiskName, off.Seek.Avg(), on.Seek.Avg())
+		}
+		if on.Service.Avg() >= off.Service.Avg() {
+			t.Errorf("%s: service did not improve (%.2f -> %.2f ms)",
+				run.Setup.DiskName, off.Service.Avg(), on.Service.Avg())
+		}
+		if on.Wait.Avg() >= off.Wait.Avg() {
+			t.Errorf("%s: waiting did not improve (%.2f -> %.2f ms)",
+				run.Setup.DiskName, off.Wait.Avg(), on.Wait.Avg())
+		}
+	}
+}
+
+func TestZeroSeekFractionJumps(t *testing.T) {
+	// Table 3: rearrangement dramatically increases zero-length seeks.
+	res := systemRuns(t)
+	for _, run := range []*Run{res.Toshiba, res.Fujitsu} {
+		off, on := detailDays(run)
+		offM := off.Metrics(run.Curve, AllRequests)
+		onM := on.Metrics(run.Curve, AllRequests)
+		if onM.ZeroSeekPct < offM.ZeroSeekPct+20 {
+			t.Errorf("%s: zero-seeks %.0f%% -> %.0f%%, want a large jump",
+				run.Setup.DiskName, offM.ZeroSeekPct, onM.ZeroSeekPct)
+		}
+	}
+}
+
+func TestSCANBeatsFCFSOnOffDays(t *testing.T) {
+	// Table 3's highlighted rows: even without rearrangement, SCAN's
+	// scheduled distances are below arrival-order distances.
+	res := systemRuns(t)
+	off, _ := detailDays(res.Toshiba)
+	m := off.Metrics(res.Toshiba.Curve, AllRequests)
+	if m.Dist >= m.FCFSDist {
+		t.Errorf("scheduled dist %.0f >= FCFS dist %.0f", m.Dist, m.FCFSDist)
+	}
+}
+
+func TestSystemAccessDistributionShape(t *testing.T) {
+	// Figure 5: heavy skew, bounded footprint.
+	res := systemRuns(t)
+	off, _ := detailDays(res.Toshiba)
+	if got := cumShare(off.AccessDist, 100); got < 0.75 {
+		t.Errorf("top-100 share = %.2f, want >= 0.75 (paper ~0.90)", got)
+	}
+	if len(off.AccessDist) > 3000 {
+		t.Errorf("%d distinct blocks, want < 3000 (paper < 2000)", len(off.AccessDist))
+	}
+}
+
+func TestUsersImproveLessThanSystem(t *testing.T) {
+	// Section 5.3: the users file system benefits from rearrangement,
+	// but much less than the system file system.
+	sys := systemRuns(t)
+	usr := usersRuns(t)
+	reduction := func(run *Run) float64 {
+		offSum := Summarize(run.OffDays(), run.Curve, AllRequests)
+		onSum := Summarize(run.OnDays(), run.Curve, AllRequests)
+		off, on := offSum.Seek.Avg(), onSum.Seek.Avg()
+		if off == 0 {
+			return 0
+		}
+		return 1 - on/off
+	}
+	sysRed := reduction(sys.Toshiba)
+	usrRed := reduction(usr.Toshiba)
+	if usrRed >= sysRed {
+		t.Errorf("users reduction %.2f >= system reduction %.2f", usrRed, sysRed)
+	}
+}
+
+func TestUsersFlatterDistribution(t *testing.T) {
+	// Figure 7 vs Figure 5.
+	sys := systemRuns(t)
+	usr := usersRuns(t)
+	sOff, _ := detailDays(sys.Toshiba)
+	uOff, _ := detailDays(usr.Toshiba)
+	if s, u := cumShare(sOff.AccessDist, 100), cumShare(uOff.AccessDist, 100); u >= s {
+		t.Errorf("users top-100 share %.2f not flatter than system %.2f", u, s)
+	}
+}
+
+func TestServiceCDFOnDominatesOff(t *testing.T) {
+	// Figure 4: the rearranged day's service-time CDF dominates at the
+	// 20 ms anchor.
+	res := systemRuns(t)
+	off, on := detailDays(res.Fujitsu)
+	offAt20 := off.Stats.All().Service.FracBelow(20)
+	onAt20 := on.Stats.All().Service.FracBelow(20)
+	if onAt20 <= offAt20 {
+		t.Errorf("CDF at 20ms: on %.2f <= off %.2f", onAt20, offAt20)
+	}
+	if onAt20 < 0.75 {
+		t.Errorf("on-day CDF at 20ms = %.2f, paper ~0.85", onAt20)
+	}
+}
+
+func TestReportsRender(t *testing.T) {
+	sys := systemRuns(t)
+	usr := usersRuns(t)
+	reports := []*Report{
+		Table1(), Table2(sys), Table3(sys), Table4(sys),
+		Table5(usr), Table6(usr),
+		Figure4(sys), Figure5(sys), Figure6(usr), Figure7(usr),
+	}
+	for _, rep := range reports {
+		out := rep.Render()
+		if out == "" {
+			t.Errorf("%s: empty render", rep.ID)
+		}
+		if !strings.Contains(out, rep.ID) {
+			t.Errorf("%s: render lacks id", rep.ID)
+		}
+		if len(rep.Rows) == 0 {
+			t.Errorf("%s: no rows", rep.ID)
+		}
+	}
+}
+
+func TestTable1MatchesPaperSpecs(t *testing.T) {
+	rep := Table1()
+	if len(rep.Rows) != 2 {
+		t.Fatalf("%d rows", len(rep.Rows))
+	}
+	if rep.Rows[0][2] != "815" || rep.Rows[1][2] != "1658" {
+		t.Errorf("cylinder counts = %s, %s", rep.Rows[0][2], rep.Rows[1][2])
+	}
+}
+
+func TestSeekReductionPct(t *testing.T) {
+	m := Metrics{FCFSSeekMS: 20, SeekMS: 2}
+	if got := SeekReductionPct(m); got != 90 {
+		t.Errorf("SeekReductionPct = %v", got)
+	}
+	if got := SeekReductionPct(Metrics{}); got != 0 {
+		t.Errorf("zero FCFS: %v", got)
+	}
+	m = Metrics{FCFSDist: 200, Dist: 50}
+	if got := DistReductionPct(m); got != 75 {
+		t.Errorf("DistReductionPct = %v", got)
+	}
+}
+
+func TestCumShare(t *testing.T) {
+	res := systemRuns(t)
+	off, _ := detailDays(res.Toshiba)
+	full := cumShare(off.AccessDist, len(off.AccessDist))
+	if full < 0.999 {
+		t.Errorf("full share = %v", full)
+	}
+	if cumShare(nil, 10) != 0 {
+		t.Error("empty distribution share != 0")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repeat run in -short mode")
+	}
+	run1, err := Execute(Setup{Days: 2, WindowMS: 30 * 60 * 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run2, err := Execute(Setup{Days: 2, WindowMS: 30 * 60 * 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range run1.Days {
+		a := run1.Days[i].Metrics(run1.Curve, AllRequests)
+		b := run2.Days[i].Metrics(run2.Curve, AllRequests)
+		if a != b {
+			t.Fatalf("day %d metrics differ: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestBoundedHotlistStillWorks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extra run in -short mode")
+	}
+	run, err := Execute(Setup{
+		Days: 2, WindowMS: 30 * 60 * 1000, HotlistSize: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, on := detailDays(run)
+	m := on.Metrics(run.Curve, AllRequests)
+	off := run.Days[0].Metrics(run.Curve, AllRequests)
+	if m.SeekMS >= off.SeekMS {
+		t.Errorf("bounded hot list: seek %.2f -> %.2f, no improvement", off.SeekMS, m.SeekMS)
+	}
+}
+
+func TestCylinderPolicyRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extra run in -short mode")
+	}
+	run, err := Execute(Setup{
+		Days: 2, WindowMS: 30 * 60 * 1000, Policy: "cylinder",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Installed) == 0 || run.Installed[0] == 0 {
+		t.Fatal("cylinder policy installed nothing")
+	}
+}
+
+func TestSerialPolicyWorse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extra runs in -short mode")
+	}
+	// Table 7's ordering on a single disk: serial placement leaves far
+	// more seek time on the table than organ-pipe.
+	seekOf := func(policy string) float64 {
+		run, err := Execute(Setup{
+			Policy: policy, Days: 2, WindowMS: 45 * 60 * 1000,
+			OnPattern: func(day int) bool { return day > 0 },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, on := detailDays(run)
+		return on.Metrics(run.Curve, AllRequests).SeekMS
+	}
+	organ := seekOf("organ-pipe")
+	serial := seekOf("serial")
+	if serial <= organ*1.5 {
+		t.Errorf("serial seek %.2f ms not clearly worse than organ-pipe %.2f ms", serial, organ)
+	}
+}
+
+func TestCylinderGranularityWorse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extra runs in -short mode")
+	}
+	// The paper's granularity argument (§1.1): whole-cylinder
+	// rearrangement at the same data volume beats nothing but loses to
+	// block granularity.
+	seekOf := func(policy string) (on, off float64) {
+		run, err := Execute(Setup{
+			Policy: policy, Days: 2, WindowMS: 45 * 60 * 1000,
+			OnPattern: func(day int) bool { return day > 0 },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		offDay, onDay := detailDays(run)
+		return onDay.Metrics(run.Curve, AllRequests).SeekMS,
+			offDay.Metrics(run.Curve, AllRequests).SeekMS
+	}
+	blockOn, _ := seekOf("organ-pipe")
+	cylOn, cylOff := seekOf("cylinder")
+	if cylOn >= cylOff {
+		t.Errorf("cylinder granularity did not help at all: %.2f -> %.2f", cylOff, cylOn)
+	}
+	if blockOn >= cylOn {
+		t.Errorf("block granularity (%.2f ms) not better than cylinder granularity (%.2f ms)",
+			blockOn, cylOn)
+	}
+}
+
+func TestSharedDiskExtension(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extra runs in -short mode")
+	}
+	res, err := RunShared(Options{Days: 4, WindowMS: 45 * 60 * 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SystemErrors != 0 || res.UsersErrors != 0 {
+		t.Errorf("workload errors: sys=%d usr=%d", res.SystemErrors, res.UsersErrors)
+	}
+	run := res.Run
+	if len(run.Days) != 4 {
+		t.Fatalf("%d days", len(run.Days))
+	}
+	off := Summarize(run.OffDays(), run.Curve, AllRequests)
+	on := Summarize(run.OnDays(), run.Curve, AllRequests)
+	if on.Seek.Avg() >= off.Seek.Avg() {
+		t.Errorf("shared disk: seek %.2f -> %.2f ms, no improvement", off.Seek.Avg(), on.Seek.Avg())
+	}
+	if len(run.Installed) == 0 || run.Installed[0] < 500 {
+		t.Errorf("installed = %v", run.Installed)
+	}
+	if rep := SharedReport(res); len(rep.Rows) != 3 {
+		t.Errorf("report rows = %d", len(rep.Rows))
+	}
+}

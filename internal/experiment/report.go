@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// Report is a rendered experiment artifact: a table or figure series in
+// the paper's format, with the paper's own numbers alongside for
+// comparison.
+type Report struct {
+	// ID is the experiment identifier ("table2", "fig8", ...).
+	ID string
+	// Title matches the paper's caption.
+	Title string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the body cells.
+	Rows [][]string
+	// Notes carry caveats and shape checks.
+	Notes []string
+}
+
+// Render formats the report as aligned text.
+func (r *Report) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %s\n", r.ID, r.Title)
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(r.Columns, "\t"))
+	for _, row := range r.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// AddRow appends a body row.
+func (r *Report) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// AddNote appends a note line.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }

@@ -1,0 +1,174 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/fs"
+	"repro/internal/rig"
+	"repro/internal/workload"
+)
+
+// SharedResult is the outcome of the shared-disk extension experiment.
+type SharedResult struct {
+	Run *Run
+	// SystemErrors and UsersErrors count failed operations per workload.
+	SystemErrors, UsersErrors int64
+}
+
+// RunShared executes the configuration Section 4.1.1 describes but the
+// paper never measures: both file systems as two partitions of a single
+// disk, sharing one reserved region. Block rearrangement is per physical
+// device, so the single block table holds hot blocks from both file
+// systems at once; the hot list naturally interleaves the system file
+// system's metadata blocks with the users' working set.
+func RunShared(o Options) (*SharedResult, error) {
+	days := o.days(4)
+	windowMS := o.WindowMS
+	if windowMS <= 0 {
+		windowMS = workload.DayEndMS - workload.DayStartMS
+	}
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	model := disk.Toshiba()
+	// Split the virtual disk ~60/40 between the two file systems.
+	totalBlocks := (model.Geom.TotalSectors() - 48*int64(model.Geom.SectorsPerCyl())) / 16
+	sysBlocks := totalBlocks * 6 / 10
+	usrBlocks := totalBlocks - sysBlocks - 16
+	r, err := rig.New(rig.Options{
+		Disk:            model,
+		ReservedCyls:    48,
+		PartitionBlocks: []int64{sysBlocks, usrBlocks},
+	})
+	if err != nil {
+		return nil, err
+	}
+	mkfs := func(part int, syncData bool) (*fs.FS, error) {
+		return fs.Newfs(r.Eng, r.Driver, part, fs.Params{
+			SyncData: syncData,
+			Cache: cache.Config{
+				CapacityBlocks:   512,
+				PressurePeriodMS: 60_000,
+				PressureFrac:     0.10,
+				Seed:             seed,
+			},
+			MetaCache: cache.Config{CapacityBlocks: 512, SyncPeriodMS: 5_000},
+		})
+	}
+	sysFS, err := mkfs(0, false)
+	if err != nil {
+		return nil, err
+	}
+	usrFS, err := mkfs(1, true)
+	if err != nil {
+		return nil, err
+	}
+	r.Eng.Run()
+
+	sysW := workload.NewSystem(r.Eng, sysFS, workload.SystemConfig{
+		WindowMS: windowMS, Seed: seed,
+	})
+	usrW := workload.NewUsers(r.Eng, usrFS, workload.UsersConfig{
+		WindowMS: windowMS, Seed: seed + 1,
+	})
+	rear, err := core.New(r.Eng, r.Driver, core.Config{MaxBlocks: 1018})
+	if err != nil {
+		return nil, err
+	}
+
+	if err := await(r, "populate system", workload.DayStartMS/2, func(done func(error)) {
+		sysW.Populate(done)
+	}); err != nil {
+		return nil, err
+	}
+	if err := await(r, "populate users", workload.DayStartMS, func(done func(error)) {
+		usrW.Populate(done)
+	}); err != nil {
+		return nil, err
+	}
+
+	run := &Run{
+		Setup: Setup{DiskName: "toshiba", FSName: "shared", Days: days},
+		Curve: model.Seek,
+	}
+	on := func(day int) bool { return day%2 == 1 }
+	for day := 0; day < days; day++ {
+		dayStart := float64(day)*workload.DayMS + workload.DayStartMS
+		dayEnd := dayStart + windowMS
+		r.Eng.RunUntil(dayStart)
+		r.Driver.ReadStats()
+		rear.StartMonitoring()
+
+		// Both workloads run concurrently over the same window.
+		remaining := 2
+		var firstErr error
+		bothDone := func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			remaining--
+		}
+		sysW.RunDay(day, bothDone)
+		usrW.RunDay(day, bothDone)
+		r.Eng.RunUntil(dayEnd + 30*60*1000)
+		for ext := 0; remaining > 0 && ext < 200; ext++ {
+			r.Eng.RunUntil(r.Eng.Now() + 10*60*1000)
+		}
+		if remaining > 0 {
+			return nil, fmt.Errorf("experiment shared: day %d did not complete", day)
+		}
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		rear.StopMonitoring()
+		run.Days = append(run.Days, DayResult{
+			Day: day, On: on(day) && day > 0, Stats: r.Driver.ReadStats(),
+		})
+
+		if day+1 < days {
+			if on(day + 1) {
+				var installed int
+				if err := await(r, "shared rearrange", r.Eng.Now()+2*workload.HourMS,
+					func(done func(error)) {
+						rear.Rearrange(func(n int, err error) { installed = n; done(err) })
+					}); err != nil {
+					return nil, err
+				}
+				run.Installed = append(run.Installed, installed)
+			} else {
+				if err := await(r, "shared clean", r.Eng.Now()+2*workload.HourMS,
+					func(done func(error)) { rear.CleanOnly(done) }); err != nil {
+					return nil, err
+				}
+			}
+		}
+		rear.ResetCounts()
+	}
+	return &SharedResult{
+		Run:          run,
+		SystemErrors: sysW.Errors(),
+		UsersErrors:  usrW.Errors(),
+	}, nil
+}
+
+// SharedReport renders the extension experiment's summary.
+func SharedReport(res *SharedResult) *Report {
+	rep := &Report{
+		ID:      "shared",
+		Title:   "Extension: both file systems sharing one disk and one reserved region (Toshiba)",
+		Columns: []string{"Metric", "Off days", "On days"},
+	}
+	run := res.Run
+	off := Summarize(run.OffDays(), run.Curve, AllRequests)
+	on := Summarize(run.OnDays(), run.Curve, AllRequests)
+	rep.AddRow("Mean seek time (ms)", f2(off.Seek.Avg()), f2(on.Seek.Avg()))
+	rep.AddRow("Mean service time (ms)", f2(off.Service.Avg()), f2(on.Service.Avg()))
+	rep.AddRow("Mean waiting time (ms)", f2(off.Wait.Avg()), f2(on.Wait.Avg()))
+	rep.AddNote("the paper never measures this configuration, but Section 4.1.1 supports it: rearrangement is per physical device and the block table mixes blocks from both file systems")
+	return rep
+}

@@ -1,0 +1,235 @@
+package fs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDescriptorRoundTrip(t *testing.T) {
+	_, f := newFS(t)
+	g := f.groups[3]
+	// Perturb the bitmaps.
+	g.inodeUsed[5] = true
+	g.dataUsed[0] = true
+	g.dataUsed[17] = true
+	g.freeIno--
+	g.freeData -= 2
+
+	buf := f.encodeDescriptor(3)
+	// Decode into a sibling FS skeleton.
+	r2, f2 := newFS(t)
+	_ = r2
+	if err := f2.decodeDescriptor(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	g2 := f2.groups[3]
+	for i := range g.inodeUsed {
+		if g.inodeUsed[i] != g2.inodeUsed[i] {
+			t.Fatalf("inode bitmap bit %d lost", i)
+		}
+	}
+	for i := range g.dataUsed {
+		if g.dataUsed[i] != g2.dataUsed[i] {
+			t.Fatalf("data bitmap bit %d lost", i)
+		}
+	}
+	if g2.freeIno != g.freeIno || g2.freeData != g.freeData {
+		t.Errorf("free counts: (%d,%d) vs (%d,%d)", g2.freeIno, g2.freeData, g.freeIno, g.freeData)
+	}
+}
+
+func TestDescriptorRejectsWrongGroup(t *testing.T) {
+	_, f := newFS(t)
+	buf := f.encodeDescriptor(3)
+	if err := f.decodeDescriptor(4, buf); err == nil {
+		t.Error("descriptor accepted for the wrong group")
+	}
+	bad := append([]byte(nil), buf...)
+	bad[0] ^= 0xFF
+	if err := f.decodeDescriptor(3, bad); err == nil {
+		t.Error("corrupt magic accepted")
+	}
+}
+
+func TestDecodeSuper(t *testing.T) {
+	_, f := newFS(t)
+	buf := f.encodeDescriptor(0)
+	blockBytes, prm, total, err := decodeSuper(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blockBytes != f.blockBytes {
+		t.Errorf("blockBytes = %d", blockBytes)
+	}
+	if prm.CylsPerGroup != f.prm.CylsPerGroup || prm.Stride != f.prm.Stride ||
+		prm.InodeBlocksPerGroup != f.prm.InodeBlocksPerGroup {
+		t.Errorf("params = %+v", prm)
+	}
+	if total != f.totalBlocks {
+		t.Errorf("totalBlocks = %d, want %d", total, f.totalBlocks)
+	}
+	if _, _, _, err := decodeSuper(make([]byte, 64)); err == nil {
+		t.Error("zero buffer accepted as superblock")
+	}
+}
+
+func TestInodeSlotRoundTrip(t *testing.T) {
+	r, f := newFS(t)
+	ino := mustCreate(t, r, f, "/roundtrip")
+	h := mustOpen(t, r, f, "/roundtrip")
+	mustWrite(t, r, h, 0, NDirect+3)
+
+	nd := f.inodes[ino]
+	blk := f.inodeBlockOf(ino)
+	buf := f.encodeInodeBlock(blk)
+	slot := int(ino) % f.inosPerBlk
+	// The slot index within the block depends on the inode's position in
+	// its group's table.
+	perGroup := len(f.groups[0].inodeUsed)
+	idx := int(ino) % perGroup
+	slot = idx % f.inosPerBlk
+
+	got, err := decodeInodeSlot(buf, slot, ino)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("used slot decoded as empty")
+	}
+	if got.dir != nd.dir || got.size != nd.size || got.indirect != nd.indirect {
+		t.Errorf("decoded inode = %+v, want %+v", got, nd)
+	}
+	for i := range nd.direct {
+		if got.direct[i] != nd.direct[i] {
+			t.Errorf("direct[%d] = %d, want %d", i, got.direct[i], nd.direct[i])
+		}
+	}
+}
+
+func TestInodeSlotEmptyDecodesNil(t *testing.T) {
+	_, f := newFS(t)
+	buf := make([]byte, f.blockBytes)
+	got, err := decodeInodeSlot(buf, 0, 1)
+	if err != nil || got != nil {
+		t.Errorf("empty slot = (%v, %v)", got, err)
+	}
+}
+
+func TestIndirectRoundTrip(t *testing.T) {
+	_, f := newFS(t)
+	ptrs := []int64{100, 200, -1, 400}
+	buf := f.encodeIndirect(ptrs)
+	got := f.decodeIndirect(buf)
+	if len(got) != 4 {
+		t.Fatalf("decoded %d pointers, want 4 (trailing -1s trimmed)", len(got))
+	}
+	for i := range ptrs {
+		if got[i] != ptrs[i] {
+			t.Errorf("ptr[%d] = %d, want %d", i, got[i], ptrs[i])
+		}
+	}
+}
+
+func TestIndirectRoundTripProperty(t *testing.T) {
+	_, f := newFS(t)
+	check := func(raw []uint16) bool {
+		ptrs := make([]int64, len(raw)%f.ptrsPerBlk)
+		for i := range ptrs {
+			ptrs[i] = int64(raw[i%len(raw)])
+		}
+		// Ensure last pointer is not -1 so trimming is exact.
+		if len(ptrs) > 0 {
+			ptrs[len(ptrs)-1] = 7
+		}
+		got := f.decodeIndirect(f.encodeIndirect(ptrs))
+		if len(got) != len(ptrs) {
+			return false
+		}
+		for i := range ptrs {
+			if got[i] != ptrs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirBlockRoundTrip(t *testing.T) {
+	r, f := newFS(t)
+	mustMkdir(t, r, f, "/d")
+	for _, n := range []string{"alpha", "beta", "gamma"} {
+		mustCreate(t, r, f, "/d/"+n)
+	}
+	dirIno := f.inodes[RootIno].entries["d"]
+	nd := f.inodes[dirIno]
+	buf := f.encodeDirBlock(nd, 0)
+
+	fresh := &inode{ino: dirIno, dir: true, entries: make(map[string]Ino)}
+	f.decodeDirBlock(fresh, 0, buf, int(nd.size))
+	if len(fresh.order) != 3 {
+		t.Fatalf("decoded %d entries", len(fresh.order))
+	}
+	for name, ino := range nd.entries {
+		if fresh.entries[name] != ino {
+			t.Errorf("entry %q = %d, want %d", name, fresh.entries[name], ino)
+		}
+	}
+	for i, name := range nd.order {
+		if fresh.order[i] != name {
+			t.Errorf("order[%d] = %q, want %q", i, fresh.order[i], name)
+		}
+	}
+}
+
+func TestDataPatternProperties(t *testing.T) {
+	_, f := newFS(t)
+	a := f.dataPattern(5, 3)
+	b := f.dataPattern(5, 3)
+	c := f.dataPattern(5, 4)
+	d := f.dataPattern(6, 3)
+	if !f.CheckPattern(a, 5, 3) {
+		t.Error("pattern does not verify against itself")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("pattern not deterministic")
+		}
+	}
+	if f.CheckPattern(c, 5, 3) || f.CheckPattern(d, 5, 3) {
+		t.Error("pattern collision across (ino, idx)")
+	}
+	if f.CheckPattern(a[:100], 5, 3) {
+		t.Error("short buffer verified")
+	}
+}
+
+func TestBitmapHelpers(t *testing.T) {
+	bits := make([]bool, 37)
+	bits[0], bits[7], bits[8], bits[36] = true, true, true, true
+	buf := make([]byte, 64)
+	end := putBitmap(buf, 3, bits)
+	got := make([]bool, 37)
+	end2, err := getBitmap(buf, 3, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != end2 {
+		t.Errorf("offsets differ: %d vs %d", end, end2)
+	}
+	for i := range bits {
+		if got[i] != bits[i] {
+			t.Errorf("bit %d lost", i)
+		}
+	}
+	// Wrong-size target rejected.
+	if _, err := getBitmap(buf, 3, make([]bool, 12)); err == nil {
+		t.Error("bitmap size mismatch accepted")
+	}
+	// Truncated buffer rejected.
+	if _, err := getBitmap(buf[:4], 3, got); err == nil {
+		t.Error("truncated bitmap accepted")
+	}
+}

@@ -1,0 +1,233 @@
+package hotlist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestExactCounts(t *testing.T) {
+	e := NewExact()
+	for i := 0; i < 5; i++ {
+		e.Observe(100)
+	}
+	e.Observe(200)
+	if e.Count(100) != 5 || e.Count(200) != 1 {
+		t.Errorf("counts = %d, %d", e.Count(100), e.Count(200))
+	}
+	if e.Len() != 2 || e.Total() != 6 {
+		t.Errorf("Len=%d Total=%d", e.Len(), e.Total())
+	}
+}
+
+func TestExactTopOrder(t *testing.T) {
+	e := NewExact()
+	obs := map[int64]int{10: 3, 20: 7, 30: 5, 40: 7}
+	for b, n := range obs {
+		for i := 0; i < n; i++ {
+			e.Observe(b)
+		}
+	}
+	top := e.Top(3)
+	if len(top) != 3 {
+		t.Fatalf("Top(3) = %d entries", len(top))
+	}
+	// 20 and 40 tie at 7; lower block number first.
+	if top[0].Block != 20 || top[1].Block != 40 || top[2].Block != 30 {
+		t.Errorf("Top = %+v", top)
+	}
+}
+
+func TestExactTopMoreThanLen(t *testing.T) {
+	e := NewExact()
+	e.Observe(1)
+	if got := e.Top(10); len(got) != 1 {
+		t.Errorf("Top(10) = %d entries", len(got))
+	}
+}
+
+func TestExactReset(t *testing.T) {
+	e := NewExact()
+	e.Observe(1)
+	e.Reset()
+	if e.Len() != 0 || e.Total() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestDistributionCoversAll(t *testing.T) {
+	e := NewExact()
+	for i := int64(0); i < 100; i++ {
+		e.Observe(i % 10)
+	}
+	d := e.Distribution()
+	if len(d) != 10 {
+		t.Errorf("distribution has %d entries", len(d))
+	}
+	var sum int64
+	for _, bc := range d {
+		sum += bc.Count
+	}
+	if sum != 100 {
+		t.Errorf("distribution sums to %d", sum)
+	}
+}
+
+func TestBoundedStaysBounded(t *testing.T) {
+	for _, policy := range []ReplacePolicy{ReplaceMin, EvictMin} {
+		b := NewBounded(10, policy)
+		for i := int64(0); i < 1000; i++ {
+			b.Observe(i)
+		}
+		if b.Len() > 10 {
+			t.Errorf("policy %d: Len = %d", policy, b.Len())
+		}
+		if b.Replacements() == 0 {
+			t.Errorf("policy %d: no replacements on overflow", policy)
+		}
+	}
+}
+
+func TestBoundedNoReplacementWhenRoomy(t *testing.T) {
+	b := NewBounded(100, ReplaceMin)
+	for i := int64(0); i < 50; i++ {
+		b.Observe(i)
+		b.Observe(i)
+	}
+	if b.Replacements() != 0 {
+		t.Errorf("replacements = %d with spare capacity", b.Replacements())
+	}
+	if b.Len() != 50 {
+		t.Errorf("Len = %d", b.Len())
+	}
+}
+
+func TestBoundedFindsHotBlocksInSkewedStream(t *testing.T) {
+	// A bounded list far smaller than the block population must still
+	// identify the hottest blocks of a skewed stream — the property the
+	// analyzer relies on (Section 4.2).
+	r := sim.NewRand(42)
+	z := sim.NewZipf(10000, 1.3)
+	exact := NewExact()
+	bounded := NewBounded(500, ReplaceMin)
+	for i := 0; i < 200000; i++ {
+		blk := int64(z.Rank(r))
+		exact.Observe(blk)
+		bounded.Observe(blk)
+	}
+	overlap := Overlap(exact.Top(100), bounded.Top(100))
+	if overlap < 0.9 {
+		t.Errorf("bounded counter found %.0f%% of true top-100, want >= 90%%", overlap*100)
+	}
+}
+
+func TestBothHeuristicsFindHotSetUnderChurn(t *testing.T) {
+	// Even with heavy replacement churn (50k distinct blocks through a
+	// 200-entry list), both heuristics must keep most of the true top-50.
+	r := sim.NewRand(7)
+	z := sim.NewZipf(50000, 1.1)
+	exact := NewExact()
+	rm := NewBounded(200, ReplaceMin)
+	em := NewBounded(200, EvictMin)
+	for i := 0; i < 300000; i++ {
+		blk := int64(z.Rank(r))
+		exact.Observe(blk)
+		rm.Observe(blk)
+		em.Observe(blk)
+	}
+	top := exact.Top(50)
+	if got := Overlap(top, rm.Top(50)); got < 0.7 {
+		t.Errorf("ReplaceMin overlap = %.2f, want >= 0.7", got)
+	}
+	if got := Overlap(top, em.Top(50)); got < 0.7 {
+		t.Errorf("EvictMin overlap = %.2f, want >= 0.7", got)
+	}
+}
+
+func TestReplaceMinAdaptsToShift(t *testing.T) {
+	// When the hot set shifts, ReplaceMin lets the new hot blocks climb
+	// onto a full list (newcomers inherit min+1).
+	r := sim.NewRand(9)
+	b := NewBounded(100, ReplaceMin)
+	// Phase 1: blocks 0..99 hot.
+	for i := 0; i < 20000; i++ {
+		b.Observe(int64(r.Intn(100)))
+	}
+	// Phase 2: blocks 1000..1019 become the hottest.
+	for i := 0; i < 40000; i++ {
+		if r.Bool(0.8) {
+			b.Observe(int64(1000 + r.Intn(20)))
+		} else {
+			b.Observe(int64(r.Intn(100)))
+		}
+	}
+	top := b.Top(20)
+	var newHot int
+	for _, bc := range top {
+		if bc.Block >= 1000 {
+			newHot++
+		}
+	}
+	if newHot < 15 {
+		t.Errorf("only %d of top-20 are from the shifted hot set", newHot)
+	}
+}
+
+func TestBoundedCapacityFloor(t *testing.T) {
+	b := NewBounded(0, ReplaceMin)
+	b.Observe(1)
+	b.Observe(2)
+	if b.Len() != 1 {
+		t.Errorf("zero-capacity counter holds %d", b.Len())
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	a := []BlockCount{{Block: 1}, {Block: 2}, {Block: 3}, {Block: 4}}
+	b := []BlockCount{{Block: 2}, {Block: 4}, {Block: 9}}
+	if got := Overlap(a, b); got != 0.5 {
+		t.Errorf("Overlap = %v, want 0.5", got)
+	}
+	if got := Overlap(nil, b); got != 1 {
+		t.Errorf("Overlap(empty) = %v, want 1", got)
+	}
+}
+
+func TestTopNeverExceedsK(t *testing.T) {
+	f := func(blocks []uint8, k uint8) bool {
+		e := NewExact()
+		b := NewBounded(16, ReplaceMin)
+		for _, blk := range blocks {
+			e.Observe(int64(blk))
+			b.Observe(int64(blk))
+		}
+		kk := int(k%32) + 1
+		return len(e.Top(kk)) <= kk && len(b.Top(kk)) <= kk
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopSortedProperty(t *testing.T) {
+	f := func(blocks []uint8) bool {
+		e := NewExact()
+		for _, blk := range blocks {
+			e.Observe(int64(blk))
+		}
+		top := e.Top(len(blocks))
+		for i := 1; i < len(top); i++ {
+			if top[i].Count > top[i-1].Count {
+				return false
+			}
+			if top[i].Count == top[i-1].Count && top[i].Block < top[i-1].Block {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,265 @@
+package label
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func toshibaGeom() geom.Geometry {
+	return geom.Geometry{Cylinders: 815, TracksPerCyl: 10, SectorsPerTrack: 34, RPM: 3600}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	l, err := NewRearranged("sakarya0", toshibaGeom(), 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AddPartition(0, 100000, TagFS); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AddPartition(100000, 50000, TagRaw); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := l.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != geom.SectorSize {
+		t.Fatalf("label image = %d bytes", len(buf))
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "sakarya0" {
+		t.Errorf("Name = %q", got.Name)
+	}
+	if got.Geom != l.Geom {
+		t.Errorf("Geom = %+v, want %+v", got.Geom, l.Geom)
+	}
+	if !got.Rearranged || got.ReservedStart != l.ReservedStart || got.ReservedLen != l.ReservedLen {
+		t.Errorf("reserved info = (%v, %d, %d)", got.Rearranged, got.ReservedStart, got.ReservedLen)
+	}
+	if len(got.Parts) != 2 || got.Parts[0] != l.Parts[0] || got.Parts[1] != l.Parts[1] {
+		t.Errorf("Parts = %+v", got.Parts)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	l := New("d", toshibaGeom())
+	buf, err := l.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), buf...)
+	bad[0] ^= 0xFF
+	if _, err := Decode(bad); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("corrupt magic: err = %v", err)
+	}
+	bad = append([]byte(nil), buf...)
+	bad[offName] ^= 0x01 // flip a name bit: checksum must catch it
+	if _, err := Decode(bad); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("corrupt body: err = %v", err)
+	}
+	if _, err := Decode(buf[:100]); err == nil {
+		t.Error("short image accepted")
+	}
+}
+
+func TestDecodeChecksumCatchesAnyByteFlip(t *testing.T) {
+	l, err := NewRearranged("x", toshibaGeom(), 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := l.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(pos uint16, bit uint8) bool {
+		p := int(pos) % geom.SectorSize
+		b := append([]byte(nil), buf...)
+		b[p] ^= 1 << (bit % 8)
+		_, err := Decode(b)
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewRearrangedCentersReservedRegion(t *testing.T) {
+	g := toshibaGeom()
+	l, err := NewRearranged("d", g, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, count := l.ReservedCyls()
+	if count != 48 {
+		t.Errorf("reserved cylinders = %d", count)
+	}
+	// Centered: (815-48)/2 = 383.
+	if first != 383 {
+		t.Errorf("first reserved cylinder = %d, want 383", first)
+	}
+	if l.VirtualGeom().Cylinders != 815-48 {
+		t.Errorf("virtual cylinders = %d", l.VirtualGeom().Cylinders)
+	}
+	if l.VirtualSectors() != g.TotalSectors()-l.ReservedLen {
+		t.Errorf("virtual sectors = %d", l.VirtualSectors())
+	}
+}
+
+func TestNewRearrangedRejectsBadCounts(t *testing.T) {
+	if _, err := NewRearranged("d", toshibaGeom(), 0); err == nil {
+		t.Error("0 reserved cylinders accepted")
+	}
+	if _, err := NewRearranged("d", toshibaGeom(), 815); err == nil {
+		t.Error("all cylinders reserved accepted")
+	}
+}
+
+func TestMapVirtual(t *testing.T) {
+	g := toshibaGeom()
+	l, err := NewRearranged("d", g, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Below the reserved region: identity.
+	if got := l.MapVirtual(0); got != 0 {
+		t.Errorf("MapVirtual(0) = %d", got)
+	}
+	if got := l.MapVirtual(l.ReservedStart - 1); got != l.ReservedStart-1 {
+		t.Errorf("just below reserved: %d", got)
+	}
+	// At and above: shifted past the hidden cylinders.
+	if got := l.MapVirtual(l.ReservedStart); got != l.ReservedStart+l.ReservedLen {
+		t.Errorf("at reserved start: %d, want %d", got, l.ReservedStart+l.ReservedLen)
+	}
+	last := l.VirtualSectors() - 1
+	if got := l.MapVirtual(last); got != g.TotalSectors()-1 {
+		t.Errorf("last virtual sector maps to %d, want %d", got, g.TotalSectors()-1)
+	}
+}
+
+func TestMapVirtualNeverHitsReserved(t *testing.T) {
+	l, err := NewRearranged("d", toshibaGeom(), 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw uint32) bool {
+		v := int64(raw) % l.VirtualSectors()
+		p := l.MapVirtual(v)
+		return !l.InReserved(p) && p >= 0 && p < l.Geom.TotalSectors()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapVirtualInjective(t *testing.T) {
+	l, err := NewRearranged("d", toshibaGeom(), 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b uint32) bool {
+		va := int64(a) % l.VirtualSectors()
+		vb := int64(b) % l.VirtualSectors()
+		if va == vb {
+			return true
+		}
+		return l.MapVirtual(va) != l.MapVirtual(vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlainLabelMapIdentity(t *testing.T) {
+	l := New("d", toshibaGeom())
+	if got := l.MapVirtual(12345); got != 12345 {
+		t.Errorf("plain disk MapVirtual(12345) = %d", got)
+	}
+	if l.InReserved(12345) {
+		t.Error("plain disk claims reserved sectors")
+	}
+	if first, count := l.ReservedCyls(); first != 0 || count != 0 {
+		t.Errorf("plain disk ReservedCyls = (%d, %d)", first, count)
+	}
+}
+
+func TestAddPartitionValidation(t *testing.T) {
+	l := New("d", toshibaGeom())
+	if _, err := l.AddPartition(0, 1000, TagFS); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AddPartition(500, 1000, TagFS); err == nil {
+		t.Error("overlapping partition accepted")
+	}
+	if _, err := l.AddPartition(-1, 10, TagFS); err == nil {
+		t.Error("negative start accepted")
+	}
+	if _, err := l.AddPartition(0, 0, TagFS); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := l.AddPartition(l.VirtualSectors(), 10, TagFS); err == nil {
+		t.Error("partition beyond virtual disk accepted")
+	}
+	for i := 1; i < MaxPartitions; i++ {
+		if _, err := l.AddPartition(int64(1000+i*10), 10, TagRaw); err != nil {
+			t.Fatalf("partition %d rejected: %v", i, err)
+		}
+	}
+	if _, err := l.AddPartition(5000, 10, TagRaw); err == nil {
+		t.Error("ninth partition accepted")
+	}
+}
+
+func TestPartitionLookup(t *testing.T) {
+	l := New("d", toshibaGeom())
+	idx, err := l.AddPartition(16, 1600, TagFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := l.Partition(idx)
+	if err != nil || p.Start != 16 || p.Size != 1600 {
+		t.Errorf("Partition(%d) = %+v, %v", idx, p, err)
+	}
+	if _, err := l.Partition(5); err == nil {
+		t.Error("missing partition returned without error")
+	}
+	if _, err := l.Partition(-1); err == nil {
+		t.Error("negative index accepted")
+	}
+}
+
+func TestEncodeRejectsLongName(t *testing.T) {
+	l := New("this-name-is-way-too-long-for-a-label", toshibaGeom())
+	if _, err := l.Encode(); err == nil {
+		t.Error("oversized name accepted")
+	}
+}
+
+func TestVirtualSizeMatchesPaperSetup(t *testing.T) {
+	// Section 5: hiding 48 of 815 cylinders is ~6% of the Toshiba's
+	// capacity; 80 of 1658 is ~5% of the Fujitsu's.
+	tosh, err := NewRearranged("t", toshibaGeom(), 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(tosh.ReservedLen) / float64(tosh.Geom.TotalSectors())
+	if frac < 0.055 || frac > 0.065 {
+		t.Errorf("Toshiba reserved fraction = %.3f, want ~0.06", frac)
+	}
+	fuji, err := NewRearranged("f", geom.Geometry{
+		Cylinders: 1658, TracksPerCyl: 15, SectorsPerTrack: 85, RPM: 3600}, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac = float64(fuji.ReservedLen) / float64(fuji.Geom.TotalSectors())
+	if frac < 0.045 || frac > 0.055 {
+		t.Errorf("Fujitsu reserved fraction = %.3f, want ~0.05", frac)
+	}
+}

@@ -1,0 +1,163 @@
+// Package plot renders simple ASCII line charts for the paper's figures
+// (service-time CDFs, block-access distributions, the Figure 8 sweep),
+// so `abrsim` can show the curves themselves and not just sampled rows.
+//
+// Charts are deliberately plain: a fixed-size character grid, one mark
+// per series, linear or log-x axes, and a legend. They render anywhere a
+// terminal does and diff cleanly in recorded outputs.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	// X and Y must have equal lengths; points are drawn independently
+	// (no interpolation), so supply enough of them.
+	X, Y []float64
+	// Mark is the character used for this series; zero picks from a
+	// default set.
+	Mark byte
+}
+
+// Chart is an ASCII chart specification.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height are the plot-area size in characters; zeros
+	// select 64×16.
+	Width, Height int
+	// LogX plots x on a log10 axis (x values must be positive).
+	LogX bool
+	// YMin/YMax fix the y range; when both are zero the range is fitted
+	// to the data.
+	YMin, YMax float64
+	Series     []Series
+}
+
+var defaultMarks = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the chart.
+func (c Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 16
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			x := c.xval(s.X[i])
+			if math.IsNaN(x) {
+				continue
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) { // no data
+		return c.Title + "\n(no data)\n"
+	}
+	if c.YMin != 0 || c.YMax != 0 {
+		ymin, ymax = c.YMin, c.YMax
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range c.Series {
+		mark := s.Mark
+		if mark == 0 {
+			mark = defaultMarks[si%len(defaultMarks)]
+		}
+		for i := range s.X {
+			x := c.xval(s.X[i])
+			if math.IsNaN(x) {
+				continue
+			}
+			col := int((x - xmin) / (xmax - xmin) * float64(w-1))
+			row := h - 1 - int((s.Y[i]-ymin)/(ymax-ymin)*float64(h-1))
+			if col < 0 || col >= w || row < 0 || row >= h {
+				continue
+			}
+			grid[row][col] = mark
+		}
+	}
+
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	yTop := fmt.Sprintf("%.2g", ymax)
+	yBot := fmt.Sprintf("%.2g", ymin)
+	pad := len(yTop)
+	if len(yBot) > pad {
+		pad = len(yBot)
+	}
+	for r := 0; r < h; r++ {
+		label := strings.Repeat(" ", pad)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, yTop)
+		case h - 1:
+			label = fmt.Sprintf("%*s", pad, yBot)
+		}
+		fmt.Fprintf(&sb, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&sb, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", w))
+	lo, hi := c.xdisplay(xmin), c.xdisplay(xmax)
+	xAxis := fmt.Sprintf("%.4g%s%.4g", lo, strings.Repeat(" ", max(1, w-12)), hi)
+	fmt.Fprintf(&sb, "%s  %s\n", strings.Repeat(" ", pad), xAxis)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&sb, "%s  x: %s   y: %s\n", strings.Repeat(" ", pad), c.XLabel, c.YLabel)
+	}
+	for si, s := range c.Series {
+		mark := s.Mark
+		if mark == 0 {
+			mark = defaultMarks[si%len(defaultMarks)]
+		}
+		fmt.Fprintf(&sb, "%s  %c = %s\n", strings.Repeat(" ", pad), mark, s.Name)
+	}
+	return sb.String()
+}
+
+// xval maps an x value onto the plotting axis.
+func (c Chart) xval(x float64) float64 {
+	if !c.LogX {
+		return x
+	}
+	if x <= 0 {
+		return math.NaN()
+	}
+	return math.Log10(x)
+}
+
+// xdisplay maps an axis value back to display units.
+func (c Chart) xdisplay(x float64) float64 {
+	if !c.LogX {
+		return x
+	}
+	return math.Pow(10, x)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

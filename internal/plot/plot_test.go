@@ -1,0 +1,101 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	c := Chart{
+		Title:  "test chart",
+		XLabel: "ms",
+		YLabel: "frac",
+		Series: []Series{
+			{Name: "a", X: []float64{0, 1, 2, 3}, Y: []float64{0, 0.5, 0.8, 1}},
+			{Name: "b", X: []float64{0, 1, 2, 3}, Y: []float64{0, 0.2, 0.4, 0.6}},
+		},
+	}
+	out := c.Render()
+	if !strings.Contains(out, "test chart") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "* = a") || !strings.Contains(out, "o = b") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "x: ms   y: frac") {
+		t.Error("missing axis labels")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("no marks drawn")
+	}
+	// 16 plot rows + frame.
+	if got := strings.Count(out, "|"); got < 16 {
+		t.Errorf("%d plot rows", got)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Chart{Title: "empty"}.Render()
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty chart rendered: %q", out)
+	}
+}
+
+func TestMarksCoverDiagonal(t *testing.T) {
+	// An increasing series over the full range puts one mark in every
+	// column, with the extremes in the bottom-left and top-right corners.
+	c := Chart{
+		Width: 40, Height: 10,
+		Series: []Series{{
+			Name: "up",
+			X:    seq(0, 39),
+			Y:    seq(0, 39),
+		}},
+	}
+	out := c.Render()
+	lines := strings.Split(out, "\n")
+	if got := strings.Count(out, "*"); got != 40+1 { // 40 marks + legend
+		t.Errorf("%d marks drawn, want 40 (+1 legend)", got)
+	}
+	firstCol := strings.Index(lines[0], "|") + 1
+	if lines[0][firstCol+39] != '*' {
+		t.Errorf("top-right corner not marked:\n%s", out)
+	}
+	if lines[9][firstCol] != '*' {
+		t.Errorf("bottom-left corner not marked:\n%s", out)
+	}
+}
+
+func TestLogXSkipsNonPositive(t *testing.T) {
+	c := Chart{
+		LogX: true,
+		Series: []Series{{
+			Name: "s",
+			X:    []float64{0, 1, 10, 100}, // 0 must be skipped
+			Y:    []float64{5, 1, 2, 3},
+		}},
+	}
+	out := c.Render()
+	if out == "" || strings.Contains(out, "NaN") {
+		t.Errorf("log-x chart mangled:\n%s", out)
+	}
+}
+
+func TestFixedYRange(t *testing.T) {
+	c := Chart{
+		YMin: 0, YMax: 1,
+		Series: []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{0.5, 2}}}, // 2 clipped
+	}
+	out := c.Render()
+	if !strings.Contains(out, "1") {
+		t.Errorf("y max label missing:\n%s", out)
+	}
+}
+
+func seq(a, b int) []float64 {
+	out := make([]float64, 0, b-a+1)
+	for i := a; i <= b; i++ {
+		out = append(out, float64(i))
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+// Package rig assembles the standard simulation stack — engine, disk
+// model, disk label, and attached driver — used by tests, examples, and
+// the experiment harness. It performs the setup that the paper does with
+// format/newfs and a reboot: write a (possibly rearranged) label, carve
+// partitions, and attach the adaptive driver.
+package rig
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/driver"
+	"repro/internal/geom"
+	"repro/internal/label"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Options configures a Rig.
+type Options struct {
+	// Disk selects the drive model; the zero value selects the Toshiba
+	// MK156F.
+	Disk disk.Model
+	// ReservedCyls hides this many middle cylinders as the reserved
+	// region; 0 builds a conventional (non-rearranged) disk.
+	ReservedCyls int
+	// ReservedFirstCyl places the reserved region at this first cylinder
+	// instead of the center (-1 or 0 with a centered default selects the
+	// center). Used by the reserved-location ablation.
+	ReservedFirstCyl int
+	// BlockSize is the file system block size; zero selects 8 KB.
+	BlockSize geom.BlockSize
+	// Sched is the head-scheduling policy; nil selects SCAN.
+	Sched sched.Scheduler
+	// PartitionBlocks lists partition sizes in blocks. Empty creates a
+	// single partition covering the whole virtual disk.
+	PartitionBlocks []int64
+	// RequestTableSize overrides the driver's monitoring table size.
+	RequestTableSize int
+}
+
+// Rig is an assembled simulation stack.
+type Rig struct {
+	Eng    *sim.Engine
+	Disk   *disk.Disk
+	Label  *label.Label
+	Driver *driver.Driver
+}
+
+// New builds a rig: it creates the disk, writes the label and an empty
+// block table, and attaches the driver.
+func New(opts Options) (*Rig, error) {
+	if opts.Disk.Name == "" {
+		opts.Disk = disk.Toshiba()
+	}
+	if opts.BlockSize == 0 {
+		opts.BlockSize = geom.Block8K
+	}
+	eng := sim.NewEngine()
+	dsk, err := disk.New(opts.Disk)
+	if err != nil {
+		return nil, err
+	}
+
+	var lbl *label.Label
+	if opts.ReservedCyls > 0 {
+		preferred := (opts.Disk.Geom.Cylinders - opts.ReservedCyls) / 2
+		if opts.ReservedFirstCyl > 0 {
+			preferred = opts.ReservedFirstCyl
+		}
+		// The region must start on a block boundary or the virtual-disk
+		// mapping would let a file system block straddle it.
+		firstCyl, aerr := label.AlignedFirstCyl(opts.Disk.Geom, opts.BlockSize.Sectors(), preferred)
+		if aerr != nil {
+			return nil, aerr
+		}
+		lbl, err = label.NewRearrangedAt(diskName(opts.Disk), opts.Disk.Geom,
+			firstCyl, opts.ReservedCyls)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		lbl = label.New(diskName(opts.Disk), opts.Disk.Geom)
+	}
+
+	bsec := int64(opts.BlockSize.Sectors())
+	// The first block is kept clear of partitions: it holds the label.
+	start := bsec
+	if len(opts.PartitionBlocks) == 0 {
+		size := (lbl.VirtualSectors() - start) / bsec * bsec
+		if _, err := lbl.AddPartition(start, size, label.TagFS); err != nil {
+			return nil, err
+		}
+	} else {
+		for i, blocks := range opts.PartitionBlocks {
+			size := blocks * bsec
+			if _, err := lbl.AddPartition(start, size, label.TagFS); err != nil {
+				return nil, fmt.Errorf("rig: partition %d: %w", i, err)
+			}
+			start += size
+		}
+	}
+
+	if err := driver.InitDisk(dsk, lbl, opts.BlockSize); err != nil {
+		return nil, err
+	}
+	drv, err := driver.Attach(eng, dsk, driver.Config{
+		Sched:            opts.Sched,
+		BlockSize:        opts.BlockSize,
+		RequestTableSize: opts.RequestTableSize,
+	}, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Rig{Eng: eng, Disk: dsk, Label: lbl, Driver: drv}, nil
+}
+
+// MustNew is New, panicking on error; for tests and examples whose
+// options are known to be valid.
+func MustNew(opts Options) *Rig {
+	r, err := New(opts)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// PartitionBlocks returns the size of partition part in blocks.
+func (r *Rig) PartitionBlocks(part int) int64 {
+	p, err := r.Label.Partition(part)
+	if err != nil {
+		return 0
+	}
+	return p.Size / int64(r.Driver.BlockSize().Sectors())
+}
+
+func diskName(m disk.Model) string {
+	if len(m.Name) > 24 {
+		return m.Name[:24]
+	}
+	return m.Name
+}

@@ -1,0 +1,108 @@
+package rig
+
+import (
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/geom"
+)
+
+func TestDefaults(t *testing.T) {
+	r, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Disk.Model().Name != "Toshiba MK156F" {
+		t.Errorf("default disk = %q", r.Disk.Model().Name)
+	}
+	if r.Driver.Rearranged() {
+		t.Error("default rig should not be rearranged")
+	}
+	if r.PartitionBlocks(0) == 0 {
+		t.Error("no default partition")
+	}
+}
+
+func TestRearrangedRig(t *testing.T) {
+	r, err := New(Options{Disk: disk.Fujitsu(), ReservedCyls: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Driver.Rearranged() {
+		t.Fatal("driver not rearranged")
+	}
+	first, count := r.Label.ReservedCyls()
+	if count != 80 {
+		t.Errorf("reserved count = %d", count)
+	}
+	// 784 is the largest block-aligned first cylinder at or below the
+	// exact center (789) on the Fujitsu geometry.
+	if first != 784 {
+		t.Errorf("reserved first = %d, want 784 (aligned near-center)", first)
+	}
+}
+
+func TestReservedFirstCylOverride(t *testing.T) {
+	r, err := New(Options{ReservedCyls: 48, ReservedFirstCyl: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, count := r.Label.ReservedCyls()
+	if first != 4 || count != 48 {
+		t.Errorf("reserved = (%d, %d), want (4, 48)", first, count)
+	}
+	// Cylinder 0 holds the label; an edge request that only aligns there
+	// is rejected rather than silently clobbering it.
+	if _, err := New(Options{ReservedCyls: 48, ReservedFirstCyl: 3}); err == nil {
+		t.Error("reserved region over the label cylinder accepted")
+	}
+}
+
+func TestMultiplePartitions(t *testing.T) {
+	r, err := New(Options{ReservedCyls: 48, PartitionBlocks: []int64{1000, 2000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.PartitionBlocks(0); got != 1000 {
+		t.Errorf("partition 0 = %d blocks", got)
+	}
+	if got := r.PartitionBlocks(1); got != 2000 {
+		t.Errorf("partition 1 = %d blocks", got)
+	}
+	if got := r.PartitionBlocks(5); got != 0 {
+		t.Errorf("missing partition = %d blocks", got)
+	}
+}
+
+func TestOversizedPartitionRejected(t *testing.T) {
+	if _, err := New(Options{PartitionBlocks: []int64{1 << 40}}); err == nil {
+		t.Error("oversized partition accepted")
+	}
+}
+
+func TestLongDiskNameTruncated(t *testing.T) {
+	m := disk.Toshiba()
+	m.Name = "An Extremely Long Disk Model Name That Exceeds The Label Field"
+	if _, err := New(Options{Disk: m}); err != nil {
+		t.Fatalf("long name not handled: %v", err)
+	}
+}
+
+func TestBlockSizePassedThrough(t *testing.T) {
+	r, err := New(Options{BlockSize: geom.Block4K})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Driver.BlockSize() != geom.Block4K {
+		t.Errorf("block size = %d", r.Driver.BlockSize())
+	}
+}
+
+func TestMustNewPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic")
+		}
+	}()
+	MustNew(Options{PartitionBlocks: []int64{1 << 40}})
+}

@@ -1,0 +1,97 @@
+// Package sim provides the discrete-event simulation core used to drive
+// the disk, driver, file system and workload models: an event queue with
+// a simulated clock, and a deterministic pseudo-random number generator
+// with the variate generators the workloads need.
+//
+// All simulated times are float64 milliseconds, matching the units of
+// the paper's measurements.
+package sim
+
+import "container/heap"
+
+// Engine is a discrete-event simulator. Events scheduled at the same
+// time fire in scheduling order.
+type Engine struct {
+	now     float64
+	seq     int64
+	events  eventHeap
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time in milliseconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past runs
+// the event at the current time.
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{time: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d milliseconds from now.
+func (e *Engine) After(d float64, fn func()) { e.At(e.now+d, fn) }
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return e.events.Len() }
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for e.events.Len() > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.time
+		ev.fn()
+	}
+}
+
+// RunUntil executes events with time ≤ t, then advances the clock to t.
+// Events scheduled beyond t remain queued.
+func (e *Engine) RunUntil(t float64) {
+	e.stopped = false
+	for e.events.Len() > 0 && !e.stopped {
+		if e.events[0].time > t {
+			break
+		}
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.time
+		ev.fn()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Stop halts Run/RunUntil after the current event completes. Queued
+// events are retained.
+func (e *Engine) Stop() { e.stopped = true }
+
+type event struct {
+	time float64
+	seq  int64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now = %v", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	e.At(10, func() {
+		times = append(times, e.Now())
+		e.After(5, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 10 || times[1] != 15 {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestSchedulingInPastRunsNow(t *testing.T) {
+	e := NewEngine()
+	var fired float64 = -1
+	e.At(10, func() {
+		e.At(3, func() { fired = e.Now() }) // in the past
+	})
+	e.Run()
+	if fired != 10 {
+		t.Errorf("past event fired at %v, want 10", fired)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	for _, tm := range []float64{5, 15, 25} {
+		tm := tm
+		e.At(tm, func() { fired = append(fired, tm) })
+	}
+	e.RunUntil(20)
+	if len(fired) != 2 {
+		t.Errorf("fired = %v, want 2 events", fired)
+	}
+	if e.Now() != 20 {
+		t.Errorf("Now = %v, want 20", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 3 || e.Now() != 25 {
+		t.Errorf("after Run: fired=%v now=%v", fired, e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	var count int
+	for i := 0; i < 10; i++ {
+		e.At(float64(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+	e.Run() // resumes
+	if count != 10 {
+		t.Errorf("after resume count = %d", count)
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a = NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRandZeroSeed(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed produced stuck generator")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRand(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("Intn(10) covered only %d values", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRand(11)
+	var sum float64
+	n := 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(5)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-5) > 0.1 {
+		t.Errorf("Exp(5) sample mean = %v", mean)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := NewRand(13)
+	var sum, sumSq float64
+	n := 200000
+	for i := 0; i < n; i++ {
+		v := r.Norm(10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("Norm mean = %v", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.05 {
+		t.Errorf("Norm stddev = %v", math.Sqrt(variance))
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := NewRand(17)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, x := range xs {
+		seen[x] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("shuffle lost elements: %v", xs)
+	}
+}
+
+func TestSplitIndependent(t *testing.T) {
+	r := NewRand(23)
+	a := r.Split()
+	b := r.Split()
+	same := true
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("split streams identical")
+	}
+}
+
+func TestZipfRanksInRange(t *testing.T) {
+	z := NewZipf(100, 1.2)
+	r := NewRand(3)
+	f := func(_ uint8) bool {
+		k := z.Rank(r)
+		return k >= 0 && k < 100
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(1000, 1.4)
+	r := NewRand(5)
+	counts := make([]int, 1000)
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[z.Rank(r)]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[500] {
+		t.Errorf("Zipf not skewed: c0=%d c10=%d c500=%d", counts[0], counts[10], counts[500])
+	}
+	// Rank 0 should carry a large share under heavy skew.
+	if frac := float64(counts[0]) / float64(n); frac < 0.05 {
+		t.Errorf("rank-0 share = %v, want noticeable mass", frac)
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	z := NewZipf(50, 0.9)
+	var sum float64
+	for i := 0; i < z.N(); i++ {
+		sum += z.Prob(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %v", sum)
+	}
+}
+
+func TestZipfPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewZipf(0) did not panic")
+		}
+	}()
+	NewZipf(0, 1)
+}

@@ -1,0 +1,217 @@
+// Package trace implements block-request traces: capture from a running
+// driver, a compact binary encoding, a line-oriented text encoding, and
+// replay into a driver.
+//
+// The paper's technique was first validated by trace-driven simulation
+// ([Akyurek 93]); this package provides the equivalent capability for
+// the reproduced system — a workload can be captured once and replayed
+// against different disks, policies, or schedulers.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/driver"
+	"repro/internal/sim"
+)
+
+// Record is one block request: its arrival time in simulated
+// milliseconds, direction, partition, and partition-relative block
+// number.
+type Record struct {
+	TimeMS float64
+	Write  bool
+	Part   int
+	Block  int64
+}
+
+// Magic identifies a binary trace stream ("ABRT").
+const Magic uint32 = 0x41425254
+
+// Version is the current binary format version.
+const Version uint16 = 1
+
+// ErrBadHeader is returned when a binary trace header is invalid.
+var ErrBadHeader = errors.New("trace: bad header")
+
+const recordSize = 18 // time f64 | flags u8 | part u8 | block i64
+
+// WriteBinary writes records in the compact binary format.
+func WriteBinary(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	var hdr [10]byte
+	binary.BigEndian.PutUint32(hdr[0:], Magic)
+	binary.BigEndian.PutUint16(hdr[4:], Version)
+	binary.BigEndian.PutUint32(hdr[6:], uint32(len(records)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [recordSize]byte
+	for _, r := range records {
+		binary.BigEndian.PutUint64(buf[0:], math.Float64bits(r.TimeMS))
+		var flags byte
+		if r.Write {
+			flags |= 1
+		}
+		buf[8] = flags
+		if r.Part < 0 || r.Part > 255 {
+			return fmt.Errorf("trace: partition %d does not fit the format", r.Part)
+		}
+		buf[9] = byte(r.Part)
+		binary.BigEndian.PutUint64(buf[10:], uint64(r.Block))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a binary trace stream.
+func ReadBinary(r io.Reader) ([]Record, error) {
+	br := bufio.NewReader(r)
+	var hdr [10]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHeader, err)
+	}
+	if binary.BigEndian.Uint32(hdr[0:]) != Magic {
+		return nil, ErrBadHeader
+	}
+	if v := binary.BigEndian.Uint16(hdr[4:]); v != Version {
+		return nil, fmt.Errorf("%w: version %d", ErrBadHeader, v)
+	}
+	n := int(binary.BigEndian.Uint32(hdr[6:]))
+	out := make([]Record, 0, n)
+	var buf [recordSize]byte
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("trace: truncated at record %d: %w", i, err)
+		}
+		out = append(out, Record{
+			TimeMS: math.Float64frombits(binary.BigEndian.Uint64(buf[0:])),
+			Write:  buf[8]&1 != 0,
+			Part:   int(buf[9]),
+			Block:  int64(binary.BigEndian.Uint64(buf[10:])),
+		})
+	}
+	return out, nil
+}
+
+// WriteText writes records as one line each: "<timeMS> <R|W> <part>
+// <block>".
+func WriteText(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range records {
+		dir := "R"
+		if r.Write {
+			dir = "W"
+		}
+		if _, err := fmt.Fprintf(bw, "%.3f %s %d %d\n", r.TimeMS, dir, r.Part, r.Block); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text format.
+func ReadText(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Text()) == 0 {
+			continue
+		}
+		var rec Record
+		var dir string
+		if _, err := fmt.Sscanf(sc.Text(), "%f %s %d %d", &rec.TimeMS, &dir, &rec.Part, &rec.Block); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		switch dir {
+		case "R":
+		case "W":
+			rec.Write = true
+		default:
+			return nil, fmt.Errorf("trace: line %d: direction %q", line, dir)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Capture records every file system block request issued to the driver
+// while attached.
+type Capture struct {
+	eng     *sim.Engine
+	drv     *driver.Driver
+	records []Record
+}
+
+// NewCapture attaches a capture tap to the driver. Detach it with Close
+// before attaching another.
+func NewCapture(eng *sim.Engine, drv *driver.Driver) *Capture {
+	c := &Capture{eng: eng, drv: drv}
+	drv.SetTap(func(write bool, part int, block int64) {
+		c.records = append(c.records, Record{
+			TimeMS: eng.Now(),
+			Write:  write,
+			Part:   part,
+			Block:  block,
+		})
+	})
+	return c
+}
+
+// Records returns the captured records.
+func (c *Capture) Records() []Record { return c.records }
+
+// Close detaches the tap.
+func (c *Capture) Close() { c.drv.SetTap(nil) }
+
+// Replay schedules every record against the driver at its recorded time
+// (shifted to start at the engine's current time), and calls done when
+// the last request completes. Writes replay zero-filled blocks. Run the
+// engine to drive the replay.
+func Replay(eng *sim.Engine, drv *driver.Driver, records []Record, done func(completed int, errs int)) {
+	if len(records) == 0 {
+		eng.After(0, func() {
+			if done != nil {
+				done(0, 0)
+			}
+		})
+		return
+	}
+	base := eng.Now() - records[0].TimeMS
+	zero := make([]byte, drv.BlockSize().Bytes())
+	remaining := len(records)
+	completed, errs := 0, 0
+	finish := func(err error) {
+		if err != nil {
+			errs++
+		} else {
+			completed++
+		}
+		remaining--
+		if remaining == 0 && done != nil {
+			done(completed, errs)
+		}
+	}
+	for _, r := range records {
+		r := r
+		eng.At(base+r.TimeMS, func() {
+			if r.Write {
+				drv.WriteBlock(r.Part, r.Block, zero, func(_ []byte, err error) { finish(err) })
+			} else {
+				drv.ReadBlock(r.Part, r.Block, func(_ []byte, err error) { finish(err) })
+			}
+		})
+	}
+}

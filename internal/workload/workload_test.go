@@ -1,0 +1,289 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/fs"
+	"repro/internal/hotlist"
+	"repro/internal/rig"
+	"repro/internal/trace"
+)
+
+// buildSystem assembles a rig + fs + system workload with a short test
+// window and the calibrated small server cache.
+func buildSystem(t *testing.T, seed uint64) (*rig.Rig, *fs.FS, *System) {
+	t.Helper()
+	r, err := rig.New(rig.Options{ReservedCyls: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Newfs(r.Eng, r.Driver, 0, fs.Params{
+		Cache: cache.Config{CapacityBlocks: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Eng.Run()
+	w := NewSystem(r.Eng, f, SystemConfig{
+		Files:    300,
+		WindowMS: 1 * HourMS,
+		Seed:     seed,
+	})
+	return r, f, w
+}
+
+func populate(t *testing.T, r *rig.Rig, w Workload) {
+	t.Helper()
+	var perr error
+	done := false
+	w.Populate(func(err error) { perr, done = err, true })
+	r.Eng.RunUntil(2 * HourMS)
+	if !done {
+		t.Fatal("populate did not complete")
+	}
+	if perr != nil {
+		t.Fatalf("populate: %v", perr)
+	}
+}
+
+func runDay(t *testing.T, r *rig.Rig, w Workload, day int, windowMS float64) {
+	t.Helper()
+	var derr error
+	done := false
+	w.RunDay(day, func(err error) { derr, done = err, true })
+	r.Eng.RunUntil(float64(day)*DayMS + DayStartMS + windowMS + 30*60*1000)
+	if !done {
+		t.Fatal("day did not complete")
+	}
+	if derr != nil {
+		t.Fatalf("day: %v", derr)
+	}
+}
+
+func TestSystemPopulate(t *testing.T) {
+	r, f, w := buildSystem(t, 1)
+	populate(t, r, w)
+	if w.Files() != 300 {
+		t.Errorf("populated %d files", w.Files())
+	}
+	if !f.ReadOnly() {
+		t.Error("system fs not mounted read-only")
+	}
+	if f.FreeBlocks() >= f.TotalBlocks() {
+		t.Error("populate allocated nothing")
+	}
+}
+
+func TestSystemDayGeneratesSkewedTraffic(t *testing.T) {
+	r, _, w := buildSystem(t, 2)
+	populate(t, r, w)
+	cap := trace.NewCapture(r.Eng, r.Driver)
+	runDay(t, r, w, 0, 1*HourMS)
+	cap.Close()
+	if w.Errors() != 0 {
+		t.Errorf("workload errors: %d", w.Errors())
+	}
+	recs := cap.Records()
+	if len(recs) < 5000 {
+		t.Fatalf("only %d disk requests in an hour", len(recs))
+	}
+	cnt := hotlist.NewExact()
+	var writes int
+	for _, rec := range recs {
+		cnt.Observe(rec.Block)
+		if rec.Write {
+			writes++
+		}
+	}
+	// Read-only mount still writes (inode bookkeeping, Section 3.1).
+	if writes == 0 {
+		t.Error("no bookkeeping writes on read-only fs")
+	}
+	if frac := float64(writes) / float64(len(recs)); frac > 0.5 {
+		t.Errorf("write fraction %.2f too high for a read-only fs", frac)
+	}
+	// Figure 5 shape: heavy skew, bounded footprint.
+	dist := cnt.Distribution()
+	var top100 int64
+	for i := 0; i < 100 && i < len(dist); i++ {
+		top100 += dist[i].Count
+	}
+	if frac := float64(top100) / float64(cnt.Total()); frac < 0.70 {
+		t.Errorf("top-100 blocks absorb %.2f of requests, want >= 0.70", frac)
+	}
+	if len(dist) > 3000 {
+		t.Errorf("%d distinct blocks touched, want < 3000", len(dist))
+	}
+}
+
+func TestSystemDeterminism(t *testing.T) {
+	capture := func() []trace.Record {
+		r, _, w := buildSystem(t, 7)
+		populate(t, r, w)
+		cap := trace.NewCapture(r.Eng, r.Driver)
+		runDay(t, r, w, 0, 1*HourMS)
+		cap.Close()
+		return cap.Records()
+	}
+	a, b := capture(), capture()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSystemDriftIsSlow(t *testing.T) {
+	r, _, w := buildSystem(t, 3)
+	populate(t, r, w)
+	before := append([]int(nil), w.perm...)
+	runDay(t, r, w, 0, 1*HourMS)
+	runDay(t, r, w, 1, 1*HourMS)
+	same := 0
+	for i := range before {
+		if w.perm[i] == before[i] {
+			same++
+		}
+	}
+	if frac := float64(same) / float64(len(before)); frac < 0.8 {
+		t.Errorf("only %.2f of popularity ranks stable across a day", frac)
+	}
+}
+
+func buildUsers(t *testing.T, seed uint64) (*rig.Rig, *fs.FS, *Users) {
+	t.Helper()
+	r, err := rig.New(rig.Options{ReservedCyls: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Newfs(r.Eng, r.Driver, 0, fs.Params{
+		Cache: cache.Config{CapacityBlocks: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Eng.Run()
+	w := NewUsers(r.Eng, f, UsersConfig{
+		Users:        10,
+		FilesPerUser: 30,
+		WindowMS:     1 * HourMS,
+		Seed:         seed,
+	})
+	return r, f, w
+}
+
+func TestUsersPopulate(t *testing.T) {
+	r, f, w := buildUsers(t, 1)
+	populate(t, r, w)
+	if len(w.users) != 10 {
+		t.Errorf("%d users", len(w.users))
+	}
+	if f.ReadOnly() {
+		t.Error("users fs must be read/write")
+	}
+	var names []string
+	f.ReadDir("/", func(ns []string, err error) { names = ns })
+	r.Eng.RunUntil(r.Eng.Now() + HourMS)
+	if len(names) != 10 {
+		t.Errorf("%d home directories", len(names))
+	}
+}
+
+func TestUsersDayMixedTraffic(t *testing.T) {
+	r, _, w := buildUsers(t, 2)
+	populate(t, r, w)
+	cap := trace.NewCapture(r.Eng, r.Driver)
+	runDay(t, r, w, 0, 1*HourMS)
+	cap.Close()
+	if w.Errors() != 0 {
+		t.Errorf("workload errors: %d", w.Errors())
+	}
+	var reads, writes int
+	for _, rec := range cap.Records() {
+		if rec.Write {
+			writes++
+		} else {
+			reads++
+		}
+	}
+	if reads == 0 || writes == 0 {
+		t.Fatalf("reads=%d writes=%d", reads, writes)
+	}
+	// Users workload writes real data, not just bookkeeping.
+	if frac := float64(writes) / float64(reads+writes); frac < 0.1 {
+		t.Errorf("write fraction %.2f too low for home directories", frac)
+	}
+}
+
+func TestUsersFlatterThanSystem(t *testing.T) {
+	// Figure 5 vs Figure 7: the users stream is much less skewed.
+	top100 := func(recs []trace.Record) float64 {
+		cnt := hotlist.NewExact()
+		for _, rec := range recs {
+			cnt.Observe(rec.Block)
+		}
+		dist := cnt.Distribution()
+		var top int64
+		for i := 0; i < 100 && i < len(dist); i++ {
+			top += dist[i].Count
+		}
+		return float64(top) / float64(cnt.Total())
+	}
+	rs, _, ws := buildSystem(t, 5)
+	populate(t, rs, ws)
+	capS := trace.NewCapture(rs.Eng, rs.Driver)
+	runDay(t, rs, ws, 0, 1*HourMS)
+	capS.Close()
+
+	ru, _, wu := buildUsers(t, 5)
+	populate(t, ru, wu)
+	capU := trace.NewCapture(ru.Eng, ru.Driver)
+	runDay(t, ru, wu, 0, 1*HourMS)
+	capU.Close()
+
+	s, u := top100(capS.Records()), top100(capU.Records())
+	if u >= s {
+		t.Errorf("users top-100 share %.2f not flatter than system %.2f", u, s)
+	}
+}
+
+func TestUsersDriftAndCreationGrowFilePopulation(t *testing.T) {
+	r, _, w := buildUsers(t, 3)
+	populate(t, r, w)
+	before := 0
+	for _, u := range w.users {
+		before += len(u.files)
+	}
+	for d := 0; d < 3; d++ {
+		runDay(t, r, w, d, 1*HourMS)
+	}
+	after := 0
+	for _, u := range w.users {
+		after += len(u.files)
+	}
+	if after == before {
+		t.Error("no file creation over three days")
+	}
+	if w.Errors() != 0 {
+		t.Errorf("errors: %d", w.Errors())
+	}
+}
+
+func TestUsersInactiveDays(t *testing.T) {
+	r, _, w := buildUsers(t, 11)
+	populate(t, r, w)
+	runDay(t, r, w, 0, 1*HourMS)
+	active := 0
+	for _, u := range w.users {
+		if u.active {
+			active++
+		}
+	}
+	if active == 0 || active == len(w.users) {
+		t.Errorf("active users = %d of %d; expected a strict subset on most seeds", active, len(w.users))
+	}
+}

@@ -1,0 +1,132 @@
+package repro_test
+
+import (
+	"testing"
+
+	repro "repro"
+	"repro/internal/fs"
+	"repro/internal/seek"
+	"repro/internal/sim"
+)
+
+func newServer(t *testing.T, cfg repro.ServerConfig) *repro.Server {
+	t.Helper()
+	srv, err := repro.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func TestNewServerDefaults(t *testing.T) {
+	srv := newServer(t, repro.ServerConfig{})
+	if srv.Disk.Model().Name != "Toshiba MK156F" {
+		t.Errorf("default disk = %q", srv.Disk.Model().Name)
+	}
+	if !srv.Driver.Rearranged() {
+		t.Error("server disk not rearranged")
+	}
+	if _, count := srv.Driver.Label().ReservedCyls(); count != 48 {
+		t.Errorf("reserved cylinders = %d", count)
+	}
+	if srv.Rearranger.Policy().Name() != "organ-pipe" {
+		t.Errorf("default policy = %q", srv.Rearranger.Policy().Name())
+	}
+	if srv.BlockSize() != 8192 {
+		t.Errorf("block size = %d", srv.BlockSize())
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := repro.NewServer(repro.ServerConfig{DiskModel: "ssd"}); err == nil {
+		t.Error("unknown disk accepted")
+	}
+	if _, err := repro.NewServer(repro.ServerConfig{Policy: "random"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := repro.NewServer(repro.ServerConfig{Sched: "lifo"}); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	// A small data cache so the skewed read stream actually reaches the
+	// disk (the experiment harness models cache pressure instead).
+	srv := newServer(t, repro.ServerConfig{MaxBlocks: 100, CacheBlocks: 8})
+
+	// Build a small tree and drive a skewed workload.
+	var handles []*fs.Handle
+	for i := 0; i < 100; i++ {
+		srv.FS.Create("/f"+string(rune('a'+i/10))+string(rune('0'+i%10)), func(ino fs.Ino, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, _ := srv.FS.OpenIno(ino)
+			h.WriteAt(0, 3, nil)
+			handles = append(handles, h)
+		})
+	}
+	srv.RunFor(120_000)
+	if len(handles) != 100 {
+		t.Fatalf("created %d files", len(handles))
+	}
+
+	rnd := sim.NewRand(3)
+	zipf := sim.NewZipf(len(handles), 1.5)
+	day := func() {
+		for i := 0; i < 2000; i++ {
+			h := handles[zipf.Rank(rnd)]
+			srv.Eng.After(float64(i)*30, func() { h.ReadAt(0, 1, nil) })
+		}
+		srv.RunFor(2000*30 + 120_000)
+	}
+
+	srv.StartMonitoring()
+	srv.Stats()
+	day()
+	srv.StopMonitoring()
+	before := srv.Stats().All()
+
+	installed, err := srv.Rearrange()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if installed == 0 {
+		t.Fatal("nothing rearranged")
+	}
+
+	day()
+	after := srv.Stats().All()
+	if after.MeanSeekMS(seek.ToshibaMK156F) >= before.MeanSeekMS(seek.ToshibaMK156F) {
+		t.Errorf("rearrangement did not reduce seek time: %.2f -> %.2f",
+			before.MeanSeekMS(seek.ToshibaMK156F), after.MeanSeekMS(seek.ToshibaMK156F))
+	}
+
+	// Clean restores the original layout.
+	if err := srv.Clean(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Driver.BlockTableLen() != 0 {
+		t.Errorf("%d blocks still rearranged after Clean", srv.Driver.BlockTableLen())
+	}
+}
+
+func TestServerReadOnly(t *testing.T) {
+	srv := newServer(t, repro.ServerConfig{ReadOnly: true})
+	var cerr error
+	srv.FS.Create("/x", func(_ fs.Ino, err error) { cerr = err })
+	srv.RunFor(60_000)
+	if cerr == nil {
+		t.Error("create succeeded on read-only server")
+	}
+}
+
+func TestServerFujitsu(t *testing.T) {
+	srv := newServer(t, repro.ServerConfig{DiskModel: "fujitsu", Policy: "interleaved", Sched: "cscan"})
+	if _, count := srv.Driver.Label().ReservedCyls(); count != 80 {
+		t.Errorf("reserved cylinders = %d", count)
+	}
+	if srv.Rearranger.Policy().Name() != "interleaved" {
+		t.Errorf("policy = %q", srv.Rearranger.Policy().Name())
+	}
+}
