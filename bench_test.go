@@ -10,6 +10,8 @@
 package repro_test
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/core"
@@ -68,7 +70,7 @@ func BenchmarkTable1SeekCurves(b *testing.B) {
 // (Toshiba), ~8.1 -> ~0.9 ms (Fujitsu).
 func BenchmarkTable2OnOffSystem(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunOnOff("system", benchOpts())
+		res, err := experiment.RunOnOff(context.Background(), "system", benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -81,7 +83,7 @@ func BenchmarkTable2OnOffSystem(b *testing.B) {
 // seeks jump from ~25% to 76-88%.
 func BenchmarkTable3DayDetail(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunOnOff("system", benchOpts())
+		res, err := experiment.RunOnOff(context.Background(), "system", benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -104,7 +106,7 @@ func BenchmarkTable3DayDetail(b *testing.B) {
 // restricted to reads. Paper: reads improve less than the full workload.
 func BenchmarkTable4ReadsOnly(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunOnOff("system", benchOpts())
+		res, err := experiment.RunOnOff(context.Background(), "system", benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -116,7 +118,7 @@ func BenchmarkTable4ReadsOnly(b *testing.B) {
 // Paper: seek reductions only ~30-35%.
 func BenchmarkTable5OnOffUsers(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunOnOff("users", benchOpts())
+		res, err := experiment.RunOnOff(context.Background(), "users", benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -127,7 +129,7 @@ func BenchmarkTable5OnOffUsers(b *testing.B) {
 // BenchmarkTable6UsersReads regenerates Table 6: users, reads only.
 func BenchmarkTable6UsersReads(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunOnOff("users", benchOpts())
+		res, err := experiment.RunOnOff(context.Background(), "users", benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -144,7 +146,7 @@ func policyOpts() experiment.Options {
 // serial on both disks.
 func BenchmarkTable7Policies(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunPolicies(policyOpts())
+		res, err := experiment.RunPolicies(context.Background(), policyOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -175,7 +177,7 @@ func BenchmarkTable9PolicyFujitsu(b *testing.B) {
 func benchmarkPolicyDetail(b *testing.B, diskName string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunPolicies(policyOpts())
+		res, err := experiment.RunPolicies(context.Background(), policyOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -194,7 +196,7 @@ func benchmarkPolicyDetail(b *testing.B, diskName string) {
 // and serial add ~1 ms vs no rearrangement; interleaved preserves it.
 func BenchmarkTable10Rotational(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunPolicies(policyOpts())
+		res, err := experiment.RunPolicies(context.Background(), policyOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -214,7 +216,7 @@ func BenchmarkTable10Rotational(b *testing.B) {
 // off ~0.50, on ~0.85.
 func BenchmarkFigure4ServiceCDF(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunOnOff("system", benchOpts())
+		res, err := experiment.RunOnOff(context.Background(), "system", benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -231,7 +233,7 @@ func BenchmarkFigure4ServiceCDF(b *testing.B) {
 // of requests; fewer than 2000 distinct blocks are touched.
 func BenchmarkFigure5AccessDist(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunOnOff("system", benchOpts())
+		res, err := experiment.RunOnOff(context.Background(), "system", benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -245,7 +247,7 @@ func BenchmarkFigure5AccessDist(b *testing.B) {
 // BenchmarkFigure6UsersCDF regenerates Figure 6: users-fs service CDFs.
 func BenchmarkFigure6UsersCDF(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunOnOff("users", benchOpts())
+		res, err := experiment.RunOnOff(context.Background(), "users", benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -261,7 +263,7 @@ func BenchmarkFigure6UsersCDF(b *testing.B) {
 // system's flatter distribution.
 func BenchmarkFigure7UsersAccessDist(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunOnOff("users", benchOpts())
+		res, err := experiment.RunOnOff(context.Background(), "users", benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -277,7 +279,7 @@ func BenchmarkFigure7UsersAccessDist(b *testing.B) {
 func BenchmarkFigure8BlockSweep(b *testing.B) {
 	counts := []int{25, 100, 400, 1018}
 	for i := 0; i < b.N; i++ {
-		points, err := experiment.RunBlockSweep(
+		points, err := experiment.RunBlockSweep(context.Background(),
 			experiment.Options{Days: 2, WindowMS: 1 * workload.HourMS}, counts)
 		if err != nil {
 			b.Fatal(err)
@@ -294,7 +296,7 @@ func BenchmarkFigure8BlockSweep(b *testing.B) {
 func BenchmarkAblationScheduling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, s := range []string{"fcfs", "scan", "cscan", "sstf"} {
-			run, err := experiment.Execute(experiment.Setup{
+			run, err := experiment.Execute(context.Background(), experiment.Setup{
 				Sched: s, Days: 2, WindowMS: 1 * workload.HourMS,
 				OnPattern: func(day int) bool { return day > 0 },
 			})
@@ -315,7 +317,7 @@ func BenchmarkAblationScheduling(b *testing.B) {
 func BenchmarkAblationHotlistSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, size := range []int{64, 256, 1024, 0} { // 0 = exact
-			run, err := experiment.Execute(experiment.Setup{
+			run, err := experiment.Execute(context.Background(), experiment.Setup{
 				HotlistSize: size, Days: 2, WindowMS: 1 * workload.HourMS,
 				OnPattern: func(day int) bool { return day > 0 },
 			})
@@ -342,7 +344,7 @@ func BenchmarkAblationReservedLocation(b *testing.B) {
 			name  string
 			first int
 		}{{"center", 0}, {"edge", 4}} {
-			run, err := experiment.Execute(experiment.Setup{
+			run, err := experiment.Execute(context.Background(), experiment.Setup{
 				ReservedFirstCyl: loc.first, Days: 2, WindowMS: 1 * workload.HourMS,
 				OnPattern: func(day int) bool { return day > 0 },
 			})
@@ -361,7 +363,7 @@ func BenchmarkAblationReservedLocation(b *testing.B) {
 func BenchmarkAblationMonitorPeriod(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, period := range []float64{30_000, 120_000, 600_000} {
-			run, err := experiment.Execute(experiment.Setup{
+			run, err := experiment.Execute(context.Background(), experiment.Setup{
 				PollPeriodMS: period, Days: 2, WindowMS: 1 * workload.HourMS,
 				OnPattern: func(day int) bool { return day > 0 },
 			})
@@ -382,7 +384,7 @@ func BenchmarkAblationMonitorPeriod(b *testing.B) {
 func BenchmarkAblationCylinderShuffle(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, p := range []string{"organ-pipe", "cylinder"} {
-			run, err := experiment.Execute(experiment.Setup{
+			run, err := experiment.Execute(context.Background(), experiment.Setup{
 				Policy: p, Days: 2, WindowMS: 1 * workload.HourMS,
 				OnPattern: func(day int) bool { return day > 0 },
 			})

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,15 +34,22 @@ func main() {
 	rearrange := flag.Int("rearrange", 0, "rearrange the N hottest blocks between two replays")
 	policy := flag.String("policy", "organ-pipe", "placement policy for -rearrange")
 	format := flag.String("format", "binary", "trace format: binary or text")
+	timeout := flag.Duration("timeout", 0, "abort the replay after this long (0 = no limit)")
 	flag.Parse()
 
-	if err := run(*traceFile, *diskName, *schedName, *policy, *format, *rearrange); err != nil {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, *traceFile, *diskName, *schedName, *policy, *format, *rearrange); err != nil {
 		fmt.Fprintln(os.Stderr, "abrreport:", err)
 		os.Exit(1)
 	}
 }
 
-func run(traceFile, diskName, schedName, policyName, format string, rearrange int) error {
+func run(ctx context.Context, traceFile, diskName, schedName, policyName, format string, rearrange int) error {
 	if traceFile == "" {
 		return fmt.Errorf("-trace is required")
 	}
@@ -82,6 +90,7 @@ func run(traceFile, diskName, schedName, policyName, format string, rearrange in
 		return err
 	}
 	r, err := rig.New(rig.Options{
+		Ctx:  ctx,
 		Disk: model, ReservedCyls: reserved, Sched: schedPolicy,
 		// The whole trace must fit the monitoring table so the learning
 		// replay sees every request.
@@ -96,6 +105,9 @@ func run(traceFile, diskName, schedName, policyName, format string, rearrange in
 		var completed, errs int
 		trace.Replay(r.Eng, r.Driver, recs, func(c, e int) { completed, errs, done = c, e, true })
 		r.Eng.Run()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
 		if !done {
 			return nil, fmt.Errorf("replay stalled")
 		}
@@ -138,6 +150,9 @@ func run(traceFile, diskName, schedName, policyName, format string, rearrange in
 		var rerr error
 		rear.Rearrange(func(n int, err error) { installed, rerr, rdone = n, err, true })
 		r.Eng.Run()
+		if err := r.Err(); err != nil {
+			return err
+		}
 		if !rdone {
 			return fmt.Errorf("rearrangement stalled")
 		}

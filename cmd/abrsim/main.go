@@ -4,152 +4,90 @@
 //
 // Usage:
 //
-//	abrsim -exp table2 [-days N] [-hours H] [-seed S]
+//	abrsim -exp table2 [-days N] [-hours H] [-seed S] [-jobs N] [-timeout D]
 //
-// Experiment ids: table1..table10, fig4..fig8, all, onoff-system,
-// onoff-users, policies, sweep, shared (the shared-disk extension).
+// Experiment ids come from the experiment registry; -h lists them all.
+// Independent simulations (each disk, policy, and sweep configuration)
+// fan out across -jobs workers, and the output is byte-identical for
+// any worker count.
 //
 // The default window is the paper's full 7am-10pm day; use -hours to
 // compress it for quick runs (shapes are stable down to about 1 hour).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1..table10, fig4..fig8, onoff-system, onoff-users, policies, sweep, shared, all)")
+	exp := flag.String("exp", "all", "experiment id (see the list below)")
 	days := flag.Int("days", 0, "override days per run (0 = paper's counts)")
 	hours := flag.Float64("hours", 0, "measured hours per day (0 = the paper's 15)")
 	seed := flag.Uint64("seed", 0, "workload seed (0 = default)")
+	jobs := flag.Int("jobs", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
+	flag.Usage = usage
 	flag.Parse()
 
-	o := experiment.Options{Days: *days, Seed: *seed}
+	o := experiment.Options{Days: *days, Seed: *seed, Jobs: *jobs}
 	if *hours > 0 {
 		o.WindowMS = *hours * workload.HourMS
 	}
-	if err := run(*exp, o); err != nil {
+	if err := run(*exp, o, *jobs, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "abrsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, o experiment.Options) error {
-	var sys, usr *experiment.OnOff
-	var pol *experiment.Policies
-	var err error
+// usage prints the flag help plus the registry's experiment ids, so the
+// valid ids always match what is actually registered.
+func usage() {
+	out := flag.CommandLine.Output()
+	fmt.Fprintf(out, "usage: abrsim [flags]\n\nflags:\n")
+	flag.PrintDefaults()
+	fmt.Fprintf(out, "\nexperiment ids:\n")
+	for _, s := range experiment.Specs() {
+		fmt.Fprintf(out, "  %-14s %s\n", s.ID, s.Description)
+	}
+}
 
-	needSys := map[string]bool{"table2": true, "table3": true, "table4": true,
-		"fig4": true, "fig5": true, "onoff-system": true, "all": true}
-	needUsr := map[string]bool{"table5": true, "table6": true,
-		"fig6": true, "fig7": true, "onoff-users": true, "all": true}
-	needPol := map[string]bool{"table7": true, "table8": true, "table9": true,
-		"table10": true, "policies": true, "all": true}
+func run(exp string, o experiment.Options, jobs int, timeout time.Duration) error {
+	if _, ok := experiment.Lookup(exp); !ok {
+		// Fail before the banner; RunSpec renders the valid-id list.
+		_, err := experiment.RunSpec(context.Background(), exp, o, runner.Config{})
+		return err
+	}
+	workers := jobs
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(os.Stderr, "abrsim: running %q on %d worker(s)\n", exp, workers)
 
-	if needSys[exp] {
-		fmt.Fprintln(os.Stderr, "running on/off experiment, system file system (both disks)...")
-		if sys, err = experiment.RunOnOff("system", o); err != nil {
-			return err
-		}
+	start := time.Now()
+	cfg := runner.Config{
+		Workers: jobs,
+		Timeout: timeout,
+		OnProgress: func(p runner.Progress) {
+			fmt.Fprintf(os.Stderr, "abrsim: %d/%d jobs, %.1f/%.0f sim-days, %.2f sim-days/sec\n",
+				p.Done, p.Total, p.Units, p.TotalUnits, p.Rate())
+		},
 	}
-	if needUsr[exp] {
-		fmt.Fprintln(os.Stderr, "running on/off experiment, users file system (both disks)...")
-		if usr, err = experiment.RunOnOff("users", o); err != nil {
-			return err
-		}
+	reports, err := experiment.RunSpec(context.Background(), exp, o, cfg)
+	if err != nil {
+		return err
 	}
-	if needPol[exp] {
-		fmt.Fprintln(os.Stderr, "running placement policy experiments (3 policies x 2 disks)...")
-		if pol, err = experiment.RunPolicies(o); err != nil {
-			return err
-		}
-	}
-
-	emit := func(id string, rep *experiment.Report) {
-		if exp == "all" || exp == id ||
-			(exp == "onoff-system" && sys != nil) ||
-			(exp == "onoff-users" && usr != nil) ||
-			(exp == "policies" && pol != nil) {
-			fmt.Println(rep.Render())
-		}
-	}
-
-	switch exp {
-	case "table1":
-		fmt.Println(experiment.Table1().Render())
-		return nil
-	case "shared":
-		fmt.Fprintln(os.Stderr, "running shared-disk extension (both file systems, one reserved region)...")
-		res, err := experiment.RunShared(o)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiment.SharedReport(res).Render())
-		return nil
-	case "fig8", "sweep":
-		fmt.Fprintln(os.Stderr, "running block-count sweep (Toshiba, system fs)...")
-		points, err := experiment.RunBlockSweep(o, nil)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiment.Figure8(points).Render())
-		fmt.Println(experiment.Figure8Chart(points).Render())
-		return nil
-	}
-
-	if exp == "all" {
-		fmt.Println(experiment.Table1().Render())
-	}
-	if sys != nil {
-		emit("table2", experiment.Table2(sys))
-		emit("table3", experiment.Table3(sys))
-		emit("table4", experiment.Table4(sys))
-		emit("fig4", experiment.Figure4(sys))
-		if exp == "all" || exp == "fig4" {
-			fmt.Println(experiment.Figure4Chart(sys).Render())
-		}
-		emit("fig5", experiment.Figure5(sys))
-		if exp == "all" || exp == "fig5" {
-			fmt.Println(experiment.Figure5Chart(sys).Render())
-		}
-	}
-	if usr != nil {
-		emit("table5", experiment.Table5(usr))
-		emit("table6", experiment.Table6(usr))
-		emit("fig6", experiment.Figure6(usr))
-		if exp == "all" || exp == "fig6" {
-			fmt.Println(experiment.Figure6Chart(usr).Render())
-		}
-		emit("fig7", experiment.Figure7(usr))
-		if exp == "all" || exp == "fig7" {
-			fmt.Println(experiment.Figure7Chart(usr).Render())
-		}
-	}
-	if pol != nil {
-		emit("table7", experiment.Table7(pol))
-		emit("table8", experiment.Table8(pol))
-		emit("table9", experiment.Table9(pol))
-		emit("table10", experiment.Table10(pol))
-	}
-	if exp == "all" {
-		fmt.Fprintln(os.Stderr, "running block-count sweep (Toshiba, system fs)...")
-		points, err := experiment.RunBlockSweep(o, nil)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiment.Figure8(points).Render())
-		fmt.Println(experiment.Figure8Chart(points).Render())
-	}
-
-	known := exp == "all" || exp == "onoff-system" || exp == "onoff-users" || exp == "policies" ||
-		needSys[exp] || needUsr[exp] || needPol[exp]
-	if !known {
-		return fmt.Errorf("unknown experiment %q", exp)
+	fmt.Fprintf(os.Stderr, "abrsim: done in %.1fs\n", time.Since(start).Seconds())
+	for _, r := range reports {
+		fmt.Println(r.Render())
 	}
 	return nil
 }

@@ -9,6 +9,8 @@
 package main
 
 import (
+	"context"
+
 	"flag"
 	"fmt"
 	"log"
@@ -23,7 +25,7 @@ func main() {
 	flag.Parse()
 
 	fmt.Printf("simulating %d days x %.1f h of the system file system on both disks...\n\n", *days, *hours)
-	res, err := experiment.RunOnOff("system", experiment.Options{
+	res, err := experiment.RunOnOff(context.Background(), "system", experiment.Options{
 		Days:     *days,
 		WindowMS: *hours * workload.HourMS,
 	})

@@ -6,6 +6,8 @@
 package main
 
 import (
+	"context"
+
 	"flag"
 	"fmt"
 	"log"
@@ -20,7 +22,7 @@ func main() {
 	flag.Parse()
 
 	fmt.Printf("simulating %d days x %.1f h of the users file system on both disks...\n\n", *days, *hours)
-	res, err := experiment.RunOnOff("users", experiment.Options{
+	res, err := experiment.RunOnOff(context.Background(), "users", experiment.Options{
 		Days:     *days,
 		WindowMS: *hours * workload.HourMS,
 	})

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -26,7 +27,7 @@ func testOpts() Options {
 
 func systemRuns(t *testing.T) *OnOff {
 	t.Helper()
-	onceSys.Do(func() { resSys, errSys = RunOnOff("system", testOpts()) })
+	onceSys.Do(func() { resSys, errSys = RunOnOff(context.Background(), "system", testOpts()) })
 	if errSys != nil {
 		t.Fatal(errSys)
 	}
@@ -35,7 +36,7 @@ func systemRuns(t *testing.T) *OnOff {
 
 func usersRuns(t *testing.T) *OnOff {
 	t.Helper()
-	onceUsr.Do(func() { resUsr, errUsr = RunOnOff("users", testOpts()) })
+	onceUsr.Do(func() { resUsr, errUsr = RunOnOff(context.Background(), "users", testOpts()) })
 	if errUsr != nil {
 		t.Fatal(errUsr)
 	}
@@ -43,16 +44,16 @@ func usersRuns(t *testing.T) *OnOff {
 }
 
 func TestExecuteValidation(t *testing.T) {
-	if _, err := Execute(Setup{DiskName: "ibm"}); err == nil {
+	if _, err := Execute(context.Background(), Setup{DiskName: "ibm"}); err == nil {
 		t.Error("unknown disk accepted")
 	}
-	if _, err := Execute(Setup{FSName: "scratch"}); err == nil {
+	if _, err := Execute(context.Background(), Setup{FSName: "scratch"}); err == nil {
 		t.Error("unknown fs accepted")
 	}
-	if _, err := Execute(Setup{Policy: "random"}); err == nil {
+	if _, err := Execute(context.Background(), Setup{Policy: "random"}); err == nil {
 		t.Error("unknown policy accepted")
 	}
-	if _, err := Execute(Setup{Sched: "elevator"}); err == nil {
+	if _, err := Execute(context.Background(), Setup{Sched: "elevator"}); err == nil {
 		t.Error("unknown scheduler accepted")
 	}
 }
@@ -259,11 +260,11 @@ func TestDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("repeat run in -short mode")
 	}
-	run1, err := Execute(Setup{Days: 2, WindowMS: 30 * 60 * 1000})
+	run1, err := Execute(context.Background(), Setup{Days: 2, WindowMS: 30 * 60 * 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
-	run2, err := Execute(Setup{Days: 2, WindowMS: 30 * 60 * 1000})
+	run2, err := Execute(context.Background(), Setup{Days: 2, WindowMS: 30 * 60 * 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +281,7 @@ func TestBoundedHotlistStillWorks(t *testing.T) {
 	if testing.Short() {
 		t.Skip("extra run in -short mode")
 	}
-	run, err := Execute(Setup{
+	run, err := Execute(context.Background(), Setup{
 		Days: 2, WindowMS: 30 * 60 * 1000, HotlistSize: 256,
 	})
 	if err != nil {
@@ -298,7 +299,7 @@ func TestCylinderPolicyRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("extra run in -short mode")
 	}
-	run, err := Execute(Setup{
+	run, err := Execute(context.Background(), Setup{
 		Days: 2, WindowMS: 30 * 60 * 1000, Policy: "cylinder",
 	})
 	if err != nil {
@@ -316,7 +317,7 @@ func TestSerialPolicyWorse(t *testing.T) {
 	// Table 7's ordering on a single disk: serial placement leaves far
 	// more seek time on the table than organ-pipe.
 	seekOf := func(policy string) float64 {
-		run, err := Execute(Setup{
+		run, err := Execute(context.Background(), Setup{
 			Policy: policy, Days: 2, WindowMS: 45 * 60 * 1000,
 			OnPattern: func(day int) bool { return day > 0 },
 		})
@@ -341,7 +342,7 @@ func TestCylinderGranularityWorse(t *testing.T) {
 	// rearrangement at the same data volume beats nothing but loses to
 	// block granularity.
 	seekOf := func(policy string) (on, off float64) {
-		run, err := Execute(Setup{
+		run, err := Execute(context.Background(), Setup{
 			Policy: policy, Days: 2, WindowMS: 45 * 60 * 1000,
 			OnPattern: func(day int) bool { return day > 0 },
 		})
@@ -367,7 +368,7 @@ func TestSharedDiskExtension(t *testing.T) {
 	if testing.Short() {
 		t.Skip("extra runs in -short mode")
 	}
-	res, err := RunShared(Options{Days: 4, WindowMS: 45 * 60 * 1000})
+	res, err := RunShared(context.Background(), Options{Days: 4, WindowMS: 45 * 60 * 1000})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,10 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/hotlist"
 	"repro/internal/plot"
+	"repro/internal/runner"
 )
 
 // cdfTable renders a service-time CDF comparison (Figures 4 and 6): the
@@ -123,36 +125,17 @@ type SweepPoint struct {
 // region holds at most 1018 blocks).
 var DefaultSweepBlocks = []int{25, 50, 100, 200, 400, 600, 800, 1018}
 
-// RunBlockSweep executes the Figure 8 experiment: the system file system
-// on the Toshiba disk with a varying number of rearranged blocks.
-func RunBlockSweep(o Options, counts []int) ([]SweepPoint, error) {
-	if len(counts) == 0 {
-		counts = DefaultSweepBlocks
+// RunBlockSweep executes the Figure 8 experiment — the system file
+// system on the Toshiba disk with a varying number of rearranged blocks
+// — running the per-count configurations in parallel on the job runner
+// (o.Jobs workers). Points come back in the order of counts regardless
+// of scheduling.
+func RunBlockSweep(ctx context.Context, o Options, counts []int) ([]SweepPoint, error) {
+	rs, err := runUnits(ctx, sweepUnits(o, counts), runner.Config{Workers: o.Jobs})
+	if err != nil {
+		return nil, err
 	}
-	var out []SweepPoint
-	for _, n := range counts {
-		run, err := Execute(Setup{
-			DiskName: "toshiba", FSName: "system",
-			Blocks:    n,
-			Days:      o.days(2),
-			OnPattern: func(day int) bool { return day > 0 },
-			WindowMS:  o.WindowMS, Seed: o.Seed,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("experiment: sweep n=%d: %w", n, err)
-		}
-		_, on := detailDays(run)
-		all := on.Metrics(run.Curve, AllRequests)
-		reads := on.Metrics(run.Curve, ReadsOnly)
-		out = append(out, SweepPoint{
-			Blocks:         n,
-			DistRedPct:     DistReductionPct(all),
-			TimeRedPct:     SeekReductionPct(all),
-			ReadDistRedPct: DistReductionPct(reads),
-			ReadTimeRedPct: SeekReductionPct(reads),
-		})
-	}
-	return out, nil
+	return rs.Sweep, nil
 }
 
 // Figure8 renders Figure 8: percentage reduction in daily mean seek
@@ -286,4 +269,45 @@ func max1(n int) int {
 		return 1
 	}
 	return n
+}
+
+// registerFigures registers the paper's figures with the experiment
+// registry. Each figure id emits its table form followed by its ASCII
+// chart.
+func registerFigures() {
+	Register(Spec{
+		ID: "fig4", Description: "service-time CDF, system fs, Fujitsu",
+		Needs: []Need{NeedSystem},
+		Report: func(rs *ResultSet) []Renderable {
+			return []Renderable{Figure4(rs.System), Figure4Chart(rs.System)}
+		},
+	})
+	Register(Spec{
+		ID: "fig5", Description: "block-access distribution, system fs",
+		Needs: []Need{NeedSystem},
+		Report: func(rs *ResultSet) []Renderable {
+			return []Renderable{Figure5(rs.System), Figure5Chart(rs.System)}
+		},
+	})
+	Register(Spec{
+		ID: "fig6", Description: "service-time CDF, users fs, Fujitsu",
+		Needs: []Need{NeedUsers},
+		Report: func(rs *ResultSet) []Renderable {
+			return []Renderable{Figure6(rs.Users), Figure6Chart(rs.Users)}
+		},
+	})
+	Register(Spec{
+		ID: "fig7", Description: "block-access distribution, users fs",
+		Needs: []Need{NeedUsers},
+		Report: func(rs *ResultSet) []Renderable {
+			return []Renderable{Figure7(rs.Users), Figure7Chart(rs.Users)}
+		},
+	})
+	Register(Spec{
+		ID: "fig8", Description: "seek reduction vs rearranged blocks (Toshiba)",
+		Needs: []Need{NeedSweep},
+		Report: func(rs *ResultSet) []Renderable {
+			return []Renderable{Figure8(rs.Sweep), Figure8Chart(rs.Sweep)}
+		},
+	})
 }

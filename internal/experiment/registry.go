@@ -1,0 +1,164 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/runner"
+)
+
+// Renderable is anything an experiment emits: a *Report table or a
+// plot.Chart.
+type Renderable interface{ Render() string }
+
+// Spec is one registered experiment id: what it needs simulated and how
+// it reports from the assembled results. Group ids ("all",
+// "onoff-system", ...) are specs too — they union their members' needs
+// and concatenate their members' reports.
+type Spec struct {
+	// ID is the experiment identifier ("table2", "fig8", "all", ...).
+	ID string
+	// Description is the one-line summary shown by abrsim -h.
+	Description string
+	// Needs lists the simulation products the report consumes. The
+	// harness gathers the union of needs across requested specs, so
+	// shared products are simulated once.
+	Needs []Need
+	// Report renders the experiment from the gathered results. It must
+	// be pure: same ResultSet, same output.
+	Report func(rs *ResultSet) []Renderable
+}
+
+var (
+	specOrder []string
+	specByID  = map[string]Spec{}
+)
+
+// Register adds a spec to the registry. Experiments register themselves
+// at package initialisation; registering a duplicate or malformed spec
+// is a programming error and panics.
+func Register(s Spec) {
+	if s.ID == "" || s.Report == nil {
+		panic("experiment: Register: spec needs an ID and a Report")
+	}
+	if _, dup := specByID[s.ID]; dup {
+		panic("experiment: Register: duplicate id " + s.ID)
+	}
+	specByID[s.ID] = s
+	specOrder = append(specOrder, s.ID)
+}
+
+// Lookup returns the spec registered under id.
+func Lookup(id string) (Spec, bool) {
+	s, ok := specByID[id]
+	return s, ok
+}
+
+// Specs returns all registered specs in registration order: the paper's
+// tables, then figures, then the extensions and groups.
+func Specs() []Spec {
+	out := make([]Spec, len(specOrder))
+	for i, id := range specOrder {
+		out[i] = specByID[id]
+	}
+	return out
+}
+
+// IDs returns all registered ids in registration order.
+func IDs() []string { return append([]string(nil), specOrder...) }
+
+// RunSpec executes one registered experiment end to end: it gathers the
+// spec's needs on the parallel runner and returns the rendered reports.
+// An unknown id fails with the list of valid ids.
+func RunSpec(ctx context.Context, id string, o Options, cfg runner.Config) ([]Renderable, error) {
+	s, ok := Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("unknown experiment %q (valid: %s)", id, strings.Join(IDs(), ", "))
+	}
+	rs, err := Gather(ctx, s.Needs, o, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Report(rs), nil
+}
+
+// reportsFor concatenates the output of other registered ids, in the
+// order given — the body of every group spec.
+func reportsFor(rs *ResultSet, ids ...string) []Renderable {
+	var out []Renderable
+	for _, id := range ids {
+		s, ok := specByID[id]
+		if !ok {
+			panic("experiment: group references unregistered id " + id)
+		}
+		out = append(out, s.Report(rs)...)
+	}
+	return out
+}
+
+// needsFor unions the needs of registered ids into canonical order.
+func needsFor(ids ...string) []Need {
+	seen := map[Need]bool{}
+	for _, id := range ids {
+		s, ok := specByID[id]
+		if !ok {
+			panic("experiment: group references unregistered id " + id)
+		}
+		for _, n := range s.Needs {
+			seen[n] = true
+		}
+	}
+	var out []Need
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// group builds a spec that runs the listed member ids together. The
+// members must already be registered.
+func group(id, desc string, members ...string) Spec {
+	return Spec{
+		ID:          id,
+		Description: desc,
+		Needs:       needsFor(members...),
+		Report: func(rs *ResultSet) []Renderable {
+			return reportsFor(rs, members...)
+		},
+	}
+}
+
+// init wires the whole registry up in display order: each experiment
+// family registers its own specs, then the groups that compose them.
+func init() {
+	registerTables()
+	registerFigures()
+	registerShared()
+	registerGroups()
+}
+
+// registerGroups registers the composite ids. "all" reproduces the
+// paper's full sequence (Tables 1–10, Figures 4–8); the on/off, policy,
+// and sweep groups slice it by experiment family.
+func registerGroups() {
+	Register(group("onoff-system",
+		"on/off experiment, system file system (Tables 2-4, Figures 4-5)",
+		"table2", "table3", "table4", "fig4", "fig5"))
+	Register(group("onoff-users",
+		"on/off experiment, users file system (Tables 5-6, Figures 6-7)",
+		"table5", "table6", "fig6", "fig7"))
+	Register(group("policies",
+		"placement policy experiments (Tables 7-10)",
+		"table7", "table8", "table9", "table10"))
+	Register(group("sweep",
+		"block-count sweep (Figure 8)",
+		"fig8"))
+	Register(group("all",
+		"every table and figure of the paper",
+		"table1", "table2", "table3", "table4", "fig4", "fig5",
+		"table5", "table6", "fig6", "fig7",
+		"table7", "table8", "table9", "table10", "fig8"))
+}

@@ -12,6 +12,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
@@ -203,8 +204,16 @@ func (r *Run) filter(on bool) []DayResult {
 	return out
 }
 
-// Execute runs the experiment to completion.
-func Execute(s Setup) (*Run, error) {
+// Execute runs the experiment to completion. The context cancels the
+// run: the engine's event loop is interrupted and Execute returns the
+// context's error. Each call builds a fully self-contained stack (its
+// own engine, disk, file system, and workload), so concurrent Execute
+// calls never share mutable state — the property the parallel runner
+// relies on.
+func Execute(ctx context.Context, s Setup) (*Run, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s, err := s.withDefaults()
 	if err != nil {
 		return nil, err
@@ -220,6 +229,7 @@ func Execute(s Setup) (*Run, error) {
 		return nil, err
 	}
 	r, err := rig.New(rig.Options{
+		Ctx:              ctx,
 		Disk:             model,
 		ReservedCyls:     s.ReservedCyls,
 		ReservedFirstCyl: s.ReservedFirstCyl,
@@ -242,6 +252,9 @@ func Execute(s Setup) (*Run, error) {
 		return nil, err
 	}
 	r.Eng.Run() // format completes before any daemon exists
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	var w workload.Workload
 	var errorsOf func() int64
@@ -300,6 +313,9 @@ func Execute(s Setup) (*Run, error) {
 
 	run := &Run{Setup: s, Curve: model.Seek}
 	for day := 0; day < s.Days; day++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		dayStart := float64(day)*workload.DayMS + workload.DayStartMS
 		dayEnd := dayStart + s.WindowMS
 		r.Eng.RunUntil(dayStart)
@@ -358,7 +374,8 @@ func Execute(s Setup) (*Run, error) {
 
 // await drives the engine until an async operation signals completion,
 // extending the horizon in bounded increments so periodic daemons cannot
-// stall it, and failing if the operation takes absurdly long.
+// stall it, and failing if the operation takes absurdly long. A
+// cancelled rig surfaces as the context's error rather than a stall.
 func await(r *rig.Rig, what string, horizon float64, op func(done func(error))) error {
 	var opErr error
 	finished := false
@@ -367,8 +384,11 @@ func await(r *rig.Rig, what string, horizon float64, op func(done func(error))) 
 		finished = true
 	})
 	r.Eng.RunUntil(horizon)
-	for ext := 0; !finished && ext < 200; ext++ {
+	for ext := 0; !finished && r.Err() == nil && ext < 200; ext++ {
 		r.Eng.RunUntil(r.Eng.Now() + 10*60*1000)
+	}
+	if err := r.Err(); err != nil {
+		return err
 	}
 	if !finished {
 		return fmt.Errorf("experiment: %s did not complete by t=%.0f ms", what, r.Eng.Now())

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
@@ -24,7 +25,13 @@ type SharedResult struct {
 // device, so the single block table holds hot blocks from both file
 // systems at once; the hot list naturally interleaves the system file
 // system's metadata blocks with the users' working set.
-func RunShared(o Options) (*SharedResult, error) {
+//
+// Both workloads drive one rig and one engine, so the run is a single
+// job on the parallel runner; the context cancels it.
+func RunShared(ctx context.Context, o Options) (*SharedResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	days := o.days(4)
 	windowMS := o.WindowMS
 	if windowMS <= 0 {
@@ -41,6 +48,7 @@ func RunShared(o Options) (*SharedResult, error) {
 	sysBlocks := totalBlocks * 6 / 10
 	usrBlocks := totalBlocks - sysBlocks - 16
 	r, err := rig.New(rig.Options{
+		Ctx:             ctx,
 		Disk:            model,
 		ReservedCyls:    48,
 		PartitionBlocks: []int64{sysBlocks, usrBlocks},
@@ -98,6 +106,9 @@ func RunShared(o Options) (*SharedResult, error) {
 	}
 	on := func(day int) bool { return day%2 == 1 }
 	for day := 0; day < days; day++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		dayStart := float64(day)*workload.DayMS + workload.DayStartMS
 		dayEnd := dayStart + windowMS
 		r.Eng.RunUntil(dayStart)
@@ -116,8 +127,11 @@ func RunShared(o Options) (*SharedResult, error) {
 		sysW.RunDay(day, bothDone)
 		usrW.RunDay(day, bothDone)
 		r.Eng.RunUntil(dayEnd + 30*60*1000)
-		for ext := 0; remaining > 0 && ext < 200; ext++ {
+		for ext := 0; remaining > 0 && r.Err() == nil && ext < 200; ext++ {
 			r.Eng.RunUntil(r.Eng.Now() + 10*60*1000)
+		}
+		if err := r.Err(); err != nil {
+			return nil, err
 		}
 		if remaining > 0 {
 			return nil, fmt.Errorf("experiment shared: day %d did not complete", day)
@@ -171,4 +185,16 @@ func SharedReport(res *SharedResult) *Report {
 	rep.AddRow("Mean waiting time (ms)", f2(off.Wait.Avg()), f2(on.Wait.Avg()))
 	rep.AddNote("the paper never measures this configuration, but Section 4.1.1 supports it: rearrangement is per physical device and the block table mixes blocks from both file systems")
 	return rep
+}
+
+// registerShared registers the shared-disk extension with the
+// experiment registry.
+func registerShared() {
+	Register(Spec{
+		ID: "shared", Description: "extension: both file systems sharing one disk",
+		Needs: []Need{NeedShared},
+		Report: func(rs *ResultSet) []Renderable {
+			return []Renderable{SharedReport(rs.Shared)}
+		},
+	})
 }

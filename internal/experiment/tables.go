@@ -1,9 +1,11 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/disk"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
@@ -17,6 +19,10 @@ type Options struct {
 	WindowMS float64
 	// Seed changes the workload seed.
 	Seed uint64
+	// Jobs is the worker count used when this Options value drives the
+	// parallel runner directly (RunOnOff, RunPolicies, RunBlockSweep);
+	// 0 selects GOMAXPROCS. Results are identical for any value.
+	Jobs int
 }
 
 func (o Options) days(def int) int {
@@ -36,29 +42,14 @@ type OnOff struct {
 }
 
 // RunOnOff executes the alternating-days experiment for one file system
-// on both disks. The paper ran 10 days (5 on, 5 off) for the system file
-// system, and 12 (Toshiba) / 10 (Fujitsu) days for the users file
-// system.
-func RunOnOff(fsname string, o Options) (*OnOff, error) {
-	daysTosh, daysFuji := 10, 10
-	if fsname == "users" {
-		daysTosh = 12
-	}
-	tosh, err := Execute(Setup{
-		DiskName: "toshiba", FSName: fsname,
-		Days: o.days(daysTosh), WindowMS: o.WindowMS, Seed: o.Seed,
-	})
+// on both disks, running the two per-disk simulations in parallel on
+// the job runner (o.Jobs workers).
+func RunOnOff(ctx context.Context, fsname string, o Options) (*OnOff, error) {
+	rs, err := runUnits(ctx, onOffUnits(fsname, o), runner.Config{Workers: o.Jobs})
 	if err != nil {
 		return nil, err
 	}
-	fuji, err := Execute(Setup{
-		DiskName: "fujitsu", FSName: fsname,
-		Days: o.days(daysFuji), WindowMS: o.WindowMS, Seed: o.Seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &OnOff{FSName: fsname, Toshiba: tosh, Fujitsu: fuji}, nil
+	return ensureOnOff(rs, fsname), nil
 }
 
 // paperOnOff holds one paper row of an on/off summary table:
@@ -234,27 +225,16 @@ type Policies struct {
 // PolicyNames lists the three placement policies in the paper's order.
 var PolicyNames = []string{"organ-pipe", "interleaved", "serial"}
 
-// RunPolicies executes the placement-policy experiments: the system file
-// system on each disk under each policy, with rearrangement applied
-// every day after a warm-up day.
-func RunPolicies(o Options) (*Policies, error) {
-	out := &Policies{Runs: make(map[string]map[string]*Run)}
-	for _, d := range []string{"toshiba", "fujitsu"} {
-		out.Runs[d] = make(map[string]*Run)
-		for _, p := range PolicyNames {
-			run, err := Execute(Setup{
-				DiskName: d, FSName: "system", Policy: p,
-				Days:      o.days(4),
-				OnPattern: func(day int) bool { return day > 0 },
-				WindowMS:  o.WindowMS, Seed: o.Seed,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("experiment: policies %s/%s: %w", d, p, err)
-			}
-			out.Runs[d][p] = run
-		}
+// RunPolicies executes the placement-policy experiments — the system
+// file system on each disk under each policy, with rearrangement
+// applied every day after a warm-up day — running the six independent
+// configurations in parallel on the job runner (o.Jobs workers).
+func RunPolicies(ctx context.Context, o Options) (*Policies, error) {
+	rs, err := runUnits(ctx, policiesUnits(o), runner.Config{Workers: o.Jobs})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return rs.Policies, nil
 }
 
 // paperTable7 holds Table 7's percentages: [disk][policy]{all, reads}.
@@ -422,3 +402,58 @@ func Table1() *Report {
 
 // FullWindowMS is the paper's measured window length (7am–10pm).
 const FullWindowMS = workload.DayEndMS - workload.DayStartMS
+
+// registerTables registers the paper's tables with the experiment
+// registry.
+func registerTables() {
+	one := func(r Renderable) []Renderable { return []Renderable{r} }
+	Register(Spec{
+		ID: "table1", Description: "specifications of the disks (model validation)",
+		Report: func(*ResultSet) []Renderable { return one(Table1()) },
+	})
+	Register(Spec{
+		ID: "table2", Description: "on/off summary, system file system",
+		Needs:  []Need{NeedSystem},
+		Report: func(rs *ResultSet) []Renderable { return one(Table2(rs.System)) },
+	})
+	Register(Spec{
+		ID: "table3", Description: "off day vs on day detail, system file system",
+		Needs:  []Need{NeedSystem},
+		Report: func(rs *ResultSet) []Renderable { return one(Table3(rs.System)) },
+	})
+	Register(Spec{
+		ID: "table4", Description: "on/off summary, system fs, reads only",
+		Needs:  []Need{NeedSystem},
+		Report: func(rs *ResultSet) []Renderable { return one(Table4(rs.System)) },
+	})
+	Register(Spec{
+		ID: "table5", Description: "on/off summary, users file system",
+		Needs:  []Need{NeedUsers},
+		Report: func(rs *ResultSet) []Renderable { return one(Table5(rs.Users)) },
+	})
+	Register(Spec{
+		ID: "table6", Description: "on/off summary, users fs, reads only",
+		Needs:  []Need{NeedUsers},
+		Report: func(rs *ResultSet) []Renderable { return one(Table6(rs.Users)) },
+	})
+	Register(Spec{
+		ID: "table7", Description: "seek-time reduction per placement policy",
+		Needs:  []Need{NeedPolicies},
+		Report: func(rs *ResultSet) []Renderable { return one(Table7(rs.Policies)) },
+	})
+	Register(Spec{
+		ID: "table8", Description: "placement policies on the Toshiba disk",
+		Needs:  []Need{NeedPolicies},
+		Report: func(rs *ResultSet) []Renderable { return one(Table8(rs.Policies)) },
+	})
+	Register(Spec{
+		ID: "table9", Description: "placement policies on the Fujitsu disk",
+		Needs:  []Need{NeedPolicies},
+		Report: func(rs *ResultSet) []Renderable { return one(Table9(rs.Policies)) },
+	})
+	Register(Spec{
+		ID: "table10", Description: "placement policies vs rotational delays",
+		Needs:  []Need{NeedPolicies},
+		Report: func(rs *ResultSet) []Renderable { return one(Table10(rs.Policies)) },
+	})
+}

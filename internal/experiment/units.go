@@ -1,0 +1,267 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/runner"
+)
+
+// Need identifies one shared simulation product that registered
+// experiments consume. Several experiments share one product (Tables
+// 2–4 and Figures 4–5 all read the system-fs on/off runs), so the
+// harness unions the needs of the requested experiments, simulates each
+// product's independent units once on the parallel runner, and hands
+// every report the same assembled ResultSet.
+type Need int
+
+const (
+	// NeedSystem is the on/off experiment on the system file system
+	// (one run per disk).
+	NeedSystem Need = iota
+	// NeedUsers is the on/off experiment on the users file system.
+	NeedUsers
+	// NeedPolicies is the placement-policy matrix (3 policies × 2 disks).
+	NeedPolicies
+	// NeedSweep is the Figure 8 block-count sweep.
+	NeedSweep
+	// NeedShared is the shared-disk extension (one combined run).
+	NeedShared
+	needCount
+)
+
+// String names the need for errors and job labels.
+func (n Need) String() string {
+	switch n {
+	case NeedSystem:
+		return "onoff-system"
+	case NeedUsers:
+		return "onoff-users"
+	case NeedPolicies:
+		return "policies"
+	case NeedSweep:
+		return "sweep"
+	case NeedShared:
+		return "shared"
+	}
+	return fmt.Sprintf("need(%d)", int(n))
+}
+
+// ResultSet holds the assembled simulation products the registered
+// experiments report from. Only the fields for gathered needs are
+// populated.
+type ResultSet struct {
+	System   *OnOff
+	Users    *OnOff
+	Policies *Policies
+	Sweep    []SweepPoint
+	Shared   *SharedResult
+}
+
+// unit pairs one independent simulation job with the step that installs
+// its result into a ResultSet. Apply steps run sequentially in job
+// order after every job has finished, so assembly is single-threaded
+// and the set's contents cannot depend on the pool's scheduling.
+type unit struct {
+	job   runner.Job
+	apply func(rs *ResultSet, v any)
+}
+
+// onOffUnits decomposes one file system's on/off experiment into its
+// two independent per-disk runs. The paper ran 10 days (5 on, 5 off)
+// for the system file system, and 12 (Toshiba) / 10 (Fujitsu) days for
+// the users file system.
+func onOffUnits(fsname string, o Options) []unit {
+	daysTosh, daysFuji := 10, 10
+	if fsname == "users" {
+		daysTosh = 12
+	}
+	mk := func(diskName string, days int) unit {
+		s := Setup{
+			DiskName: diskName, FSName: fsname,
+			Days: o.days(days), WindowMS: o.WindowMS, Seed: o.Seed,
+		}
+		return unit{
+			job: runner.Job{
+				Name:  "onoff/" + fsname + "/" + diskName,
+				Units: float64(s.Days),
+				Run:   func(ctx context.Context) (any, error) { return Execute(ctx, s) },
+			},
+			apply: func(rs *ResultSet, v any) {
+				res := ensureOnOff(rs, fsname)
+				if diskName == "toshiba" {
+					res.Toshiba = v.(*Run)
+				} else {
+					res.Fujitsu = v.(*Run)
+				}
+			},
+		}
+	}
+	return []unit{mk("toshiba", daysTosh), mk("fujitsu", daysFuji)}
+}
+
+func ensureOnOff(rs *ResultSet, fsname string) *OnOff {
+	slot := &rs.System
+	if fsname == "users" {
+		slot = &rs.Users
+	}
+	if *slot == nil {
+		*slot = &OnOff{FSName: fsname}
+	}
+	return *slot
+}
+
+// policiesUnits decomposes the placement-policy experiments into their
+// six independent runs (system file system, each disk × each policy,
+// rearrangement applied every day after a warm-up day).
+func policiesUnits(o Options) []unit {
+	var units []unit
+	for _, d := range []string{"toshiba", "fujitsu"} {
+		for _, p := range PolicyNames {
+			d, p := d, p
+			s := Setup{
+				DiskName: d, FSName: "system", Policy: p,
+				Days:      o.days(4),
+				OnPattern: func(day int) bool { return day > 0 },
+				WindowMS:  o.WindowMS, Seed: o.Seed,
+			}
+			units = append(units, unit{
+				job: runner.Job{
+					Name:  "policies/" + d + "/" + p,
+					Units: float64(s.Days),
+					Run: func(ctx context.Context) (any, error) {
+						run, err := Execute(ctx, s)
+						if err != nil {
+							return nil, fmt.Errorf("experiment: policies %s/%s: %w", d, p, err)
+						}
+						return run, nil
+					},
+				},
+				apply: func(rs *ResultSet, v any) {
+					if rs.Policies == nil {
+						rs.Policies = &Policies{Runs: make(map[string]map[string]*Run)}
+					}
+					if rs.Policies.Runs[d] == nil {
+						rs.Policies.Runs[d] = make(map[string]*Run)
+					}
+					rs.Policies.Runs[d][p] = v.(*Run)
+				},
+			})
+		}
+	}
+	return units
+}
+
+// sweepUnits decomposes the Figure 8 sweep into one independent run per
+// block count. Each job computes its SweepPoint; apply steps append in
+// job order, so the sweep comes out sorted as given.
+func sweepUnits(o Options, counts []int) []unit {
+	if len(counts) == 0 {
+		counts = DefaultSweepBlocks
+	}
+	var units []unit
+	for _, n := range counts {
+		n := n
+		s := Setup{
+			DiskName: "toshiba", FSName: "system",
+			Blocks:    n,
+			Days:      o.days(2),
+			OnPattern: func(day int) bool { return day > 0 },
+			WindowMS:  o.WindowMS, Seed: o.Seed,
+		}
+		units = append(units, unit{
+			job: runner.Job{
+				Name:  fmt.Sprintf("sweep/%d", n),
+				Units: float64(s.Days),
+				Run: func(ctx context.Context) (any, error) {
+					run, err := Execute(ctx, s)
+					if err != nil {
+						return nil, fmt.Errorf("experiment: sweep n=%d: %w", n, err)
+					}
+					_, on := detailDays(run)
+					all := on.Metrics(run.Curve, AllRequests)
+					reads := on.Metrics(run.Curve, ReadsOnly)
+					return SweepPoint{
+						Blocks:         n,
+						DistRedPct:     DistReductionPct(all),
+						TimeRedPct:     SeekReductionPct(all),
+						ReadDistRedPct: DistReductionPct(reads),
+						ReadTimeRedPct: SeekReductionPct(reads),
+					}, nil
+				},
+			},
+			apply: func(rs *ResultSet, v any) {
+				rs.Sweep = append(rs.Sweep, v.(SweepPoint))
+			},
+		})
+	}
+	return units
+}
+
+// sharedUnit wraps the shared-disk extension. Its two workloads drive
+// one rig and one engine, so it is a single job.
+func sharedUnit(o Options) unit {
+	return unit{
+		job: runner.Job{
+			Name:  "shared",
+			Units: float64(o.days(4)),
+			Run:   func(ctx context.Context) (any, error) { return RunShared(ctx, o) },
+		},
+		apply: func(rs *ResultSet, v any) { rs.Shared = v.(*SharedResult) },
+	}
+}
+
+// needUnits expands one need into its independent simulation units.
+func needUnits(n Need, o Options) []unit {
+	switch n {
+	case NeedSystem:
+		return onOffUnits("system", o)
+	case NeedUsers:
+		return onOffUnits("users", o)
+	case NeedPolicies:
+		return policiesUnits(o)
+	case NeedSweep:
+		return sweepUnits(o, nil)
+	case NeedShared:
+		return []unit{sharedUnit(o)}
+	}
+	panic(fmt.Sprintf("experiment: unknown need %d", int(n)))
+}
+
+// Gather simulates the given needs on the parallel runner and assembles
+// the results. Needs are deduplicated and expanded in canonical order,
+// and results are installed in job order, so the assembled set — and
+// everything rendered from it — is identical for any worker count.
+func Gather(ctx context.Context, needs []Need, o Options, cfg runner.Config) (*ResultSet, error) {
+	requested := make([]bool, needCount)
+	for _, n := range needs {
+		if n < 0 || n >= needCount {
+			return nil, fmt.Errorf("experiment: unknown need %d", int(n))
+		}
+		requested[n] = true
+	}
+	var units []unit
+	for n := Need(0); n < needCount; n++ {
+		if requested[n] {
+			units = append(units, needUnits(n, o)...)
+		}
+	}
+	return runUnits(ctx, units, cfg)
+}
+
+// runUnits runs units' jobs on the pool and applies results in order.
+func runUnits(ctx context.Context, units []unit, cfg runner.Config) (*ResultSet, error) {
+	jobs := make([]runner.Job, len(units))
+	for i, u := range units {
+		jobs[i] = u.job
+	}
+	results, err := runner.Run(ctx, jobs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rs := &ResultSet{}
+	for i, u := range units {
+		u.apply(rs, results[i])
+	}
+	return rs, nil
+}

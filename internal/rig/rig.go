@@ -6,6 +6,7 @@
 package rig
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/disk"
@@ -18,6 +19,11 @@ import (
 
 // Options configures a Rig.
 type Options struct {
+	// Ctx, when non-nil, cancels the rig: the engine's event loop is
+	// interrupted once the context is done, so a long RunUntil inside a
+	// cancelled job winds down promptly instead of simulating to the
+	// horizon. nil means the rig cannot be cancelled.
+	Ctx context.Context
 	// Disk selects the drive model; the zero value selects the Toshiba
 	// MK156F.
 	Disk disk.Model
@@ -45,6 +51,18 @@ type Rig struct {
 	Disk   *disk.Disk
 	Label  *label.Label
 	Driver *driver.Driver
+	ctx    context.Context
+}
+
+// Err returns the rig's cancellation cause: the context error if the
+// rig was built with one and it is done, nil otherwise. Run loops call
+// this after driving the engine to tell an interrupted simulation from
+// a completed one.
+func (r *Rig) Err() error {
+	if r.ctx == nil {
+		return nil
+	}
+	return r.ctx.Err()
 }
 
 // New builds a rig: it creates the disk, writes the label and an empty
@@ -56,7 +74,15 @@ func New(opts Options) (*Rig, error) {
 	if opts.BlockSize == 0 {
 		opts.BlockSize = geom.Block8K
 	}
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	eng := sim.NewEngine()
+	if ctx := opts.Ctx; ctx != nil {
+		eng.SetInterrupt(func() bool { return ctx.Err() != nil })
+	}
 	dsk, err := disk.New(opts.Disk)
 	if err != nil {
 		return nil, err
@@ -112,7 +138,7 @@ func New(opts Options) (*Rig, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Rig{Eng: eng, Disk: dsk, Label: lbl, Driver: drv}, nil
+	return &Rig{Eng: eng, Disk: dsk, Label: lbl, Driver: drv, ctx: opts.Ctx}, nil
 }
 
 // MustNew is New, panicking on error; for tests and examples whose

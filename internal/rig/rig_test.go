@@ -1,6 +1,8 @@
 package rig
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/disk"
@@ -95,6 +97,66 @@ func TestBlockSizePassedThrough(t *testing.T) {
 	}
 	if r.Driver.BlockSize() != geom.Block4K {
 		t.Errorf("block size = %d", r.Driver.BlockSize())
+	}
+}
+
+func TestCancelledContextRejected(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := New(Options{Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Errorf("New on a dead context: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestErrReportsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r, err := New(Options{Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Err() != nil {
+		t.Errorf("live rig Err = %v", r.Err())
+	}
+	cancel()
+	if !errors.Is(r.Err(), context.Canceled) {
+		t.Errorf("cancelled rig Err = %v", r.Err())
+	}
+	// A rig built without a context can never be cancelled.
+	r2, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Err() != nil {
+		t.Errorf("context-free rig Err = %v", r2.Err())
+	}
+}
+
+func TestCancelInterruptsEngine(t *testing.T) {
+	// Cancelling the rig's context halts a long engine run at the next
+	// interrupt poll instead of draining the whole queue.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r, err := New(Options{Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Eng.Run() // settle formatting I/O first
+	const n = 20000
+	count := 0
+	for i := 0; i < n; i++ {
+		r.Eng.At(float64(i), func() {
+			count++
+			if count == 100 {
+				cancel()
+			}
+		})
+	}
+	r.Eng.Run()
+	if count >= n {
+		t.Fatal("cancel did not interrupt the engine")
+	}
+	if r.Err() == nil {
+		t.Error("Err() nil after cancellation")
 	}
 }
 

@@ -12,11 +12,18 @@ import "container/heap"
 // Engine is a discrete-event simulator. Events scheduled at the same
 // time fire in scheduling order.
 type Engine struct {
-	now     float64
-	seq     int64
-	events  eventHeap
-	stopped bool
+	now       float64
+	seq       int64
+	events    eventHeap
+	stopped   bool
+	interrupt func() bool
+	dispatch  int64
 }
+
+// interruptStride is how many events fire between interrupt polls: large
+// enough that polling cost is negligible, small enough that a cancelled
+// run stops within a fraction of a simulated day.
+const interruptStride = 4096
 
 // NewEngine returns an engine with the clock at 0.
 func NewEngine() *Engine { return &Engine{} }
@@ -40,18 +47,36 @@ func (e *Engine) After(d float64, fn func()) { e.At(e.now+d, fn) }
 // Pending returns the number of scheduled events.
 func (e *Engine) Pending() int { return e.events.Len() }
 
-// Run executes events until the queue is empty or Stop is called.
+// SetInterrupt installs fn, polled periodically during Run and RunUntil
+// (every few thousand events). When fn returns true the running loop
+// halts as if Stop had been called: the clock stays at the last fired
+// event and queued events are retained, so the caller can observe a
+// cancelled simulation's partial state. A nil fn removes the hook.
+func (e *Engine) SetInterrupt(fn func() bool) { e.interrupt = fn }
+
+// interrupted polls the interrupt hook at interruptStride boundaries.
+func (e *Engine) interrupted() bool {
+	e.dispatch++
+	return e.dispatch%interruptStride == 0 && e.interrupt != nil && e.interrupt()
+}
+
+// Run executes events until the queue is empty, Stop is called, or the
+// interrupt hook fires.
 func (e *Engine) Run() {
 	e.stopped = false
 	for e.events.Len() > 0 && !e.stopped {
 		ev := heap.Pop(&e.events).(event)
 		e.now = ev.time
 		ev.fn()
+		if e.interrupted() {
+			break
+		}
 	}
 }
 
 // RunUntil executes events with time ≤ t, then advances the clock to t.
-// Events scheduled beyond t remain queued.
+// Events scheduled beyond t remain queued. A Stop or interrupt leaves
+// the clock at the last fired event rather than advancing it to t.
 func (e *Engine) RunUntil(t float64) {
 	e.stopped = false
 	for e.events.Len() > 0 && !e.stopped {
@@ -61,6 +86,12 @@ func (e *Engine) RunUntil(t float64) {
 		ev := heap.Pop(&e.events).(event)
 		e.now = ev.time
 		ev.fn()
+		if e.interrupted() {
+			return
+		}
+	}
+	if e.stopped {
+		return
 	}
 	if e.now < t {
 		e.now = t

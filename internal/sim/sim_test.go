@@ -105,6 +105,146 @@ func TestStop(t *testing.T) {
 	}
 }
 
+func TestStopDuringRunUntil(t *testing.T) {
+	// Stop from inside an event halts RunUntil immediately: later events
+	// stay queued, and the clock stays at the stopping event instead of
+	// advancing to the horizon, so a paused engine can resume where it
+	// left off.
+	e := NewEngine()
+	var fired []float64
+	for _, tm := range []float64{5, 10, 15, 20} {
+		tm := tm
+		e.At(tm, func() {
+			fired = append(fired, tm)
+			if tm == 10 {
+				e.Stop()
+			}
+		})
+	}
+	e.RunUntil(100)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want events at 5 and 10", fired)
+	}
+	if e.Now() != 10 {
+		t.Errorf("Now = %v, want 10 (clock must not jump to the horizon)", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2 retained events", e.Pending())
+	}
+	// A fresh RunUntil resumes exactly where the stop left off.
+	e.RunUntil(100)
+	if len(fired) != 4 || e.Now() != 100 {
+		t.Errorf("after resume: fired=%v now=%v", fired, e.Now())
+	}
+}
+
+func TestPastSchedulingInsideRunUntil(t *testing.T) {
+	// An event that schedules into the past during RunUntil fires at the
+	// current time, within the same RunUntil pass.
+	e := NewEngine()
+	var fired float64 = -1
+	e.At(10, func() {
+		e.At(3, func() { fired = e.Now() })
+	})
+	e.RunUntil(20)
+	if fired != 10 {
+		t.Errorf("past event fired at %v, want 10", fired)
+	}
+	if e.Now() != 20 {
+		t.Errorf("Now = %v, want 20", e.Now())
+	}
+}
+
+func TestPastSchedulingAtHorizon(t *testing.T) {
+	// Scheduling into the past from an event exactly at the horizon
+	// still fires before RunUntil returns: the clamped event lands at
+	// the horizon, not beyond it.
+	e := NewEngine()
+	var fired bool
+	e.At(20, func() {
+		e.At(1, func() { fired = true })
+	})
+	e.RunUntil(20)
+	if !fired {
+		t.Error("event scheduled into the past at the horizon did not fire")
+	}
+}
+
+func TestPendingAfterStop(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(float64(i), func() {
+			if i == 1 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if e.Pending() != 3 {
+		t.Fatalf("Pending = %d after stop, want 3", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d after resume, want 0", e.Pending())
+	}
+}
+
+func TestInterruptHaltsRun(t *testing.T) {
+	// The interrupt hook is polled every few thousand events; a run
+	// whose hook trips must halt long before draining a large queue,
+	// with the remaining events retained.
+	e := NewEngine()
+	stop := false
+	e.SetInterrupt(func() bool { return stop })
+	const n = 3 * interruptStride
+	count := 0
+	for i := 0; i < n; i++ {
+		e.At(float64(i), func() {
+			count++
+			if count == interruptStride/2 {
+				stop = true
+			}
+		})
+	}
+	e.Run()
+	if count >= n {
+		t.Fatal("interrupt did not halt the run")
+	}
+	if e.Pending() != n-count {
+		t.Errorf("Pending = %d, want %d", e.Pending(), n-count)
+	}
+	// Clearing the condition lets the run resume and finish.
+	stop = false
+	e.Run()
+	if count != n || e.Pending() != 0 {
+		t.Errorf("after resume: count=%d pending=%d", count, e.Pending())
+	}
+}
+
+func TestInterruptHaltsRunUntil(t *testing.T) {
+	e := NewEngine()
+	stop := false
+	e.SetInterrupt(func() bool { return stop })
+	const n = 2 * interruptStride
+	count := 0
+	for i := 0; i < n; i++ {
+		e.At(float64(i), func() {
+			count++
+			if count == 10 {
+				stop = true
+			}
+		})
+	}
+	e.RunUntil(float64(n))
+	if count >= n {
+		t.Fatal("interrupt did not halt RunUntil")
+	}
+	if e.Now() >= float64(n) {
+		t.Errorf("Now = %v advanced to the horizon despite the interrupt", e.Now())
+	}
+}
+
 func TestRandDeterministic(t *testing.T) {
 	a, b := NewRand(42), NewRand(42)
 	for i := 0; i < 100; i++ {
