@@ -6,11 +6,15 @@
 // Usage:
 //
 //	abrreport -trace day.trace [-disk toshiba|fujitsu] [-sched scan]
-//	          [-rearrange N] [-policy organ-pipe]
+//	          [-rearrange N] [-policy organ-pipe] [-telemetry FILE]
 //
 // With -rearrange N, the trace is replayed twice: once to learn the N
 // hottest blocks, then again after rearranging them, and both
 // measurements are reported.
+//
+// With -telemetry FILE, a time-series CSV written by abrsim -sample is
+// summarized as a queue-depth-over-time table per job. The flag works
+// alone or alongside -trace.
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/rig"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -35,7 +40,18 @@ func main() {
 	policy := flag.String("policy", "organ-pipe", "placement policy for -rearrange")
 	format := flag.String("format", "binary", "trace format: binary or text")
 	timeout := flag.Duration("timeout", 0, "abort the replay after this long (0 = no limit)")
+	teleFile := flag.String("telemetry", "", "summarize a telemetry CSV written by abrsim -sample")
 	flag.Parse()
+
+	if *teleFile != "" {
+		if err := reportTelemetry(*teleFile); err != nil {
+			fmt.Fprintln(os.Stderr, "abrreport:", err)
+			os.Exit(1)
+		}
+		if *traceFile == "" {
+			return
+		}
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -47,6 +63,92 @@ func main() {
 		fmt.Fprintln(os.Stderr, "abrreport:", err)
 		os.Exit(1)
 	}
+}
+
+// reportTelemetry reads a telemetry CSV and prints a queue-depth-over-
+// time table per job: the sampling window is split into ten buckets and
+// each row reports the bucket's sample count plus the mean and maximum
+// observed queue depth. Malformed files produce an error, never a
+// panic.
+func reportTelemetry(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rows, err := telemetry.ReadCSV(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("%s: no samples", path)
+	}
+
+	// Group rows by job, preserving file order.
+	var jobs []string
+	byJob := map[string][]telemetry.SampleRow{}
+	for _, r := range rows {
+		if _, seen := byJob[r.Job]; !seen {
+			jobs = append(jobs, r.Job)
+		}
+		byJob[r.Job] = append(byJob[r.Job], r)
+	}
+
+	for _, job := range jobs {
+		rs := byJob[job]
+		if _, ok := rs[0].Values["queue_depth"]; !ok {
+			fmt.Printf("%s: no queue_depth column in %d samples\n\n", job, len(rs))
+			continue
+		}
+		lo, hi := rs[0].TimeMS, rs[0].TimeMS
+		for _, r := range rs {
+			if r.TimeMS < lo {
+				lo = r.TimeMS
+			}
+			if r.TimeMS > hi {
+				hi = r.TimeMS
+			}
+		}
+		const buckets = 10
+		span := hi - lo
+		if span <= 0 {
+			span = 1
+		}
+		type agg struct {
+			n   int
+			sum float64
+			max float64
+		}
+		bs := make([]agg, buckets)
+		for _, r := range rs {
+			i := int(float64(buckets) * (r.TimeMS - lo) / span)
+			if i >= buckets {
+				i = buckets - 1
+			}
+			qd := r.Values["queue_depth"]
+			bs[i].n++
+			bs[i].sum += qd
+			if qd > bs[i].max {
+				bs[i].max = qd
+			}
+		}
+		fmt.Printf("%s: queue depth over time (%d samples, sim %.1fh-%.1fh)\n",
+			job, len(rs), lo/3_600_000, hi/3_600_000)
+		fmt.Printf("  %-16s %8s %10s %8s\n", "window", "samples", "mean qd", "max qd")
+		for i, b := range bs {
+			from := lo + span*float64(i)/buckets
+			to := lo + span*float64(i+1)/buckets
+			if b.n == 0 {
+				fmt.Printf("  %6.1fh-%6.1fh %8d %10s %8s\n",
+					from/3_600_000, to/3_600_000, 0, "-", "-")
+				continue
+			}
+			fmt.Printf("  %6.1fh-%6.1fh %8d %10.2f %8.0f\n",
+				from/3_600_000, to/3_600_000, b.n, b.sum/float64(b.n), b.max)
+		}
+		fmt.Println()
+	}
+	return nil
 }
 
 func run(ctx context.Context, traceFile, diskName, schedName, policyName, format string, rearrange int) error {

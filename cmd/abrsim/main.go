@@ -5,26 +5,36 @@
 // Usage:
 //
 //	abrsim -exp table2 [-days N] [-hours H] [-seed S] [-jobs N] [-timeout D]
+//	       [-trace FILE] [-sample D [-telemetry FILE]] [-pprof ADDR]
 //
 // Experiment ids come from the experiment registry; -h lists them all.
 // Independent simulations (each disk, policy, and sweep configuration)
-// fan out across -jobs workers, and the output is byte-identical for
-// any worker count.
+// fan out across -jobs workers, and the output — including the trace
+// and telemetry files — is byte-identical for any worker count.
 //
 // The default window is the paper's full 7am-10pm day; use -hours to
 // compress it for quick runs (shapes are stable down to about 1 hour).
+//
+// Observability: -trace streams one JSONL request span per completed
+// disk request; -sample runs the telemetry sampler every D of sim time
+// and writes the time series as CSV to -telemetry; -pprof serves
+// net/http/pprof on the given address for profiling the harness
+// itself.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/runner"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -35,6 +45,10 @@ func main() {
 	seed := flag.Uint64("seed", 0, "workload seed (0 = default)")
 	jobs := flag.Int("jobs", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
+	traceFile := flag.String("trace", "", "write request-lifecycle spans as JSONL to this file")
+	sample := flag.Duration("sample", 0, "telemetry sampling period in sim time (0 = off)")
+	teleFile := flag.String("telemetry", "", "write sampled time series as CSV to this file (default telemetry.csv when -sample is set)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -42,7 +56,24 @@ func main() {
 	if *hours > 0 {
 		o.WindowMS = *hours * workload.HourMS
 	}
-	if err := run(*exp, o, *jobs, *timeout); err != nil {
+	// The collector itself is near-free when spans and sampling are
+	// off, and it carries the per-job engine event counts for the
+	// end-of-run summary, so it is always on.
+	o.Telemetry = &telemetry.Options{
+		Spans:          *traceFile != "",
+		SamplePeriodMS: sample.Seconds() * 1000,
+	}
+	if *teleFile == "" && *sample > 0 {
+		*teleFile = "telemetry.csv"
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "abrsim: pprof:", err)
+			}
+		}()
+	}
+	if err := run(*exp, o, *jobs, *timeout, *traceFile, *teleFile); err != nil {
 		fmt.Fprintln(os.Stderr, "abrsim:", err)
 		os.Exit(1)
 	}
@@ -60,7 +91,7 @@ func usage() {
 	}
 }
 
-func run(exp string, o experiment.Options, jobs int, timeout time.Duration) error {
+func run(exp string, o experiment.Options, jobs int, timeout time.Duration, traceFile, teleFile string) error {
 	if _, ok := experiment.Lookup(exp); !ok {
 		// Fail before the banner; RunSpec renders the valid-id list.
 		_, err := experiment.RunSpec(context.Background(), exp, o, runner.Config{})
@@ -81,13 +112,74 @@ func run(exp string, o experiment.Options, jobs int, timeout time.Duration) erro
 				p.Done, p.Total, p.Units, p.TotalUnits, p.Rate())
 		},
 	}
-	reports, err := experiment.RunSpec(context.Background(), exp, o, cfg)
+	reports, rs, err := experiment.RunSpecFull(context.Background(), exp, o, cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "abrsim: done in %.1fs\n", time.Since(start).Seconds())
+	summarize(rs)
+	if err := writeTelemetry(rs, traceFile, teleFile); err != nil {
+		return err
+	}
 	for _, r := range reports {
 		fmt.Println(r.Render())
+	}
+	return nil
+}
+
+// summarize prints the per-job harness metrics: wall clock, simulated
+// days, throughput, engine events dispatched, and spans emitted.
+func summarize(rs *experiment.ResultSet) {
+	if len(rs.Metrics) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "abrsim: %-24s %10s %9s %10s %12s %10s\n",
+		"job", "wall", "sim-days", "days/sec", "events", "spans")
+	for i, m := range rs.Metrics {
+		var events, spans int64
+		if i < len(rs.Collectors) && rs.Collectors[i] != nil {
+			events = rs.Collectors[i].EngineEvents()
+			spans = rs.Collectors[i].Events()
+		}
+		status := ""
+		if m.Failed {
+			status = "  FAILED"
+		}
+		fmt.Fprintf(os.Stderr, "abrsim: %-24s %10s %9.1f %10.2f %12d %10d%s\n",
+			m.Name, m.Wall.Round(time.Millisecond), m.Units, m.Rate(), events, spans, status)
+	}
+}
+
+// writeTelemetry writes the concatenated per-job trace and time-series
+// files. Collectors are concatenated in job order, so both files are
+// byte-identical for any -jobs value.
+func writeTelemetry(rs *experiment.ResultSet, traceFile, teleFile string) error {
+	write := func(path string, emit func(f *os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if traceFile != "" {
+		if err := write(traceFile, func(f *os.File) error {
+			return telemetry.WriteTrace(f, rs.Collectors)
+		}); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "abrsim: wrote request spans to %s\n", traceFile)
+	}
+	if teleFile != "" {
+		if err := write(teleFile, func(f *os.File) error {
+			return telemetry.WriteCSV(f, rs.Collectors)
+		}); err != nil {
+			return fmt.Errorf("writing telemetry: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "abrsim: wrote telemetry samples to %s\n", teleFile)
 	}
 	return nil
 }

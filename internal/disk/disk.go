@@ -118,6 +118,7 @@ type Disk struct {
 
 	// Counters.
 	nReads, nWrites, nBufferHits int64
+	cumSeekCyls                  int64
 }
 
 // New returns an initialized disk for the given model with the head
@@ -163,6 +164,11 @@ func (d *Disk) HeadCylinder() int { return d.headCyl }
 func (d *Disk) Counters() (reads, writes, bufferHits int64) {
 	return d.nReads, d.nWrites, d.nBufferHits
 }
+
+// SeekCylinders returns the cumulative head movement in cylinders over
+// the disk's lifetime — a convergence signal for telemetry probes: as
+// rearrangement takes hold, its growth rate falls.
+func (d *Disk) SeekCylinders() int64 { return d.cumSeekCyls }
 
 // sectorTimeMS returns the time to pass one sector under the head.
 func (d *Disk) sectorTimeMS() float64 {
@@ -326,6 +332,7 @@ func (d *Disk) mechanicalService(nowMS float64, sector int64, count int) Timing 
 		dist = -dist
 	}
 	t := Timing{OverheadMS: d.model.OverheadMS, SeekDist: dist}
+	d.cumSeekCyls += int64(dist)
 	t.SeekMS = d.model.Seek.SeekMS(dist)
 	seekEnd := nowMS + t.OverheadMS + t.SeekMS
 	t.RotMS = d.rotationalDelayMS(seekEnd, sector)

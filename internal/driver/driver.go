@@ -33,6 +33,7 @@ import (
 	"repro/internal/label"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Config carries driver tunables.
@@ -79,15 +80,17 @@ type DoneFunc func(data []byte, err error)
 
 // ioreq is one queued device operation.
 type ioreq struct {
-	write    bool
-	internal bool  // driver-generated (block movement, table writes)
-	orig     int64 // pre-redirect physical sector (monitoring identity)
-	sector   int64 // post-redirect physical target sector
-	count    int   // sectors
-	data     []byte
-	arriveMS float64
-	cyl      int
-	done     DoneFunc
+	write      bool
+	internal   bool  // driver-generated (block movement, table writes)
+	redirected bool  // sent to the reserved region by the block table
+	orig       int64 // pre-redirect physical sector (monitoring identity)
+	sector     int64 // post-redirect physical target sector
+	count      int   // sectors
+	qdepth     int   // operations ahead of this one at queue entry
+	data       []byte
+	arriveMS   float64
+	cyl        int
+	done       DoneFunc
 }
 
 // Cylinder implements sched.Cylindered.
@@ -113,7 +116,9 @@ type Driver struct {
 
 	mon   *monitor
 	stats *Stats
-	tap   func(write bool, part int, block int64)
+	sink  telemetry.Sink
+	ev    telemetry.Event // scratch event, reused across emissions
+	cum   Counters
 
 	// fcfsCyl tracks the cylinder of the previous arrival (in original,
 	// unrearranged coordinates) for the arrival-order seek-distance
@@ -255,17 +260,54 @@ func (d *Driver) blockIO(write bool, part int, blk int64, data []byte, done Done
 		d.fail(done, fmt.Errorf("%w: block %d of partition %d (%d sectors)", ErrBadBlock, blk, part, p.Size))
 		return
 	}
-	if d.tap != nil {
-		d.tap(write, part, blk)
+	if d.sink != nil {
+		d.ev = telemetry.Event{
+			Kind:   telemetry.KindRequest,
+			TimeMS: d.eng.Now(),
+			Write:  write,
+			Part:   part,
+			Block:  blk,
+		}
+		d.sink.Event(&d.ev)
 	}
 	vsec := p.Start + blk*bsec
 	d.strategy(write, vsec, int(bsec), data, done)
 }
 
-// SetTap registers a function invoked for every file system block
-// request with its partition-relative address, before any translation.
-// Trace capture uses it; pass nil to remove the tap.
-func (d *Driver) SetTap(tap func(write bool, part int, block int64)) { d.tap = tap }
+// SetSink attaches a telemetry sink to the driver's event stream: one
+// KindRequest event per file system block request (partition-relative
+// address, before any translation) and one KindSpan event per
+// completed device operation. Pass nil to detach; a nil sink costs a
+// single comparison per request. The driver reuses one Event value, so
+// sinks must copy what they retain.
+func (d *Driver) SetSink(s telemetry.Sink) { d.sink = s }
+
+// Counters are lifetime observability counters. Unlike Stats they are
+// never cleared by ReadStats, so time-series probes can track
+// cumulative progress across measurement windows.
+type Counters struct {
+	// Requests counts completed file system and raw requests.
+	Requests int64
+	// Redirected counts requests sent to the reserved region.
+	Redirected int64
+	// InternalIO counts completed driver-generated operations: block
+	// movement reads/writes and block table writes — the cumulative
+	// I/O cost of rearrangement.
+	InternalIO int64
+}
+
+// Counters returns the driver's lifetime counters.
+func (d *Driver) Counters() Counters { return d.cum }
+
+// Outstanding returns the number of requests in the driver: queued
+// plus the one in service.
+func (d *Driver) Outstanding() int {
+	n := len(d.queue)
+	if d.busy {
+		n++
+	}
+	return n
+}
 
 // Physio issues a raw-interface request addressed in virtual-disk
 // sectors. Large requests are broken into block-sized subrequests so
@@ -360,19 +402,21 @@ func (d *Driver) strategy(write bool, vsec int64, count int, data []byte, done D
 	}
 	if redirected {
 		d.stats.side(write).Redirected++
+		d.cum.Redirected++
 	}
 
 	d.mon.record(blockStart, count, write)
 	d.recordArrival(blockStart, write)
 	d.enqueue(&ioreq{
-		write:    write,
-		orig:     blockStart,
-		sector:   target,
-		count:    count,
-		data:     data,
-		arriveMS: d.eng.Now(),
-		cyl:      d.dsk.Geom().CylinderOf(target),
-		done:     done,
+		write:      write,
+		redirected: redirected,
+		orig:       blockStart,
+		sector:     target,
+		count:      count,
+		data:       data,
+		arriveMS:   d.eng.Now(),
+		cyl:        d.dsk.Geom().CylinderOf(target),
+		done:       done,
 	})
 }
 
@@ -392,6 +436,7 @@ func (d *Driver) recordArrival(origSector int64, write bool) {
 // enqueue adds a request to the device queue and starts the device if it
 // is idle, mirroring the strategy/start split of the SunOS driver.
 func (d *Driver) enqueue(r *ioreq) {
+	r.qdepth = d.Outstanding()
 	d.queue = append(d.queue, r)
 	if !d.busy {
 		d.start()
@@ -450,6 +495,30 @@ func (d *Driver) interrupt(r *ioreq, rdata []byte, t disk.Timing, startMS float6
 		if t.BufferHit {
 			side.BufferHits++
 		}
+		d.cum.Requests++
+	} else {
+		d.cum.InternalIO++
+	}
+	if d.sink != nil {
+		d.ev = telemetry.Event{
+			Kind:       telemetry.KindSpan,
+			Write:      r.write,
+			Internal:   r.internal,
+			Redirected: r.redirected,
+			BufferHit:  t.BufferHit,
+			Orig:       r.orig,
+			Sector:     r.sector,
+			Count:      r.count,
+			QueueDepth: r.qdepth,
+			SeekDist:   t.SeekDist,
+			ArriveMS:   r.arriveMS,
+			DispatchMS: startMS,
+			SeekMS:     t.SeekMS,
+			RotMS:      t.RotMS,
+			TransferMS: t.TransferMS,
+			CompleteMS: d.eng.Now(),
+		}
+		d.sink.Event(&d.ev)
 	}
 	if r.done != nil {
 		if r.write {

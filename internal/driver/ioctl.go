@@ -48,7 +48,7 @@ func (d *Driver) BCopy(orig, dst int64, done ErrFunc) {
 		}
 	}
 	// 1: read the block from its original location.
-	d.enqueue(&ioreq{internal: true, sector: orig, count: bsec, arriveMS: d.eng.Now(),
+	d.enqueue(&ioreq{internal: true, orig: orig, sector: orig, count: bsec, arriveMS: d.eng.Now(),
 		cyl: d.dsk.Geom().CylinderOf(orig),
 		done: func(data []byte, err error) {
 			if err != nil {
@@ -56,7 +56,7 @@ func (d *Driver) BCopy(orig, dst int64, done ErrFunc) {
 				return
 			}
 			// 2: write it to the reserved slot.
-			d.enqueue(&ioreq{internal: true, write: true, sector: dst, count: bsec, data: data,
+			d.enqueue(&ioreq{internal: true, write: true, orig: orig, sector: dst, count: bsec, data: data,
 				arriveMS: d.eng.Now(), cyl: d.dsk.Geom().CylinderOf(dst),
 				done: func(_ []byte, err error) {
 					if err != nil {
@@ -173,14 +173,14 @@ func (d *Driver) cleanNext(entries []blocktable.Entry, i int, done ErrFunc) {
 		return
 	}
 	// Copy the reserved copy back to the original location first.
-	d.enqueue(&ioreq{internal: true, sector: e.New, count: bsec, arriveMS: d.eng.Now(),
+	d.enqueue(&ioreq{internal: true, orig: e.Orig, sector: e.New, count: bsec, arriveMS: d.eng.Now(),
 		cyl: d.dsk.Geom().CylinderOf(e.New),
 		done: func(data []byte, err error) {
 			if err != nil {
 				step(fmt.Errorf("driver clean: reading reserved copy: %w", err))
 				return
 			}
-			d.enqueue(&ioreq{internal: true, write: true, sector: e.Orig, count: bsec, data: data,
+			d.enqueue(&ioreq{internal: true, write: true, orig: e.Orig, sector: e.Orig, count: bsec, data: data,
 				arriveMS: d.eng.Now(), cyl: d.dsk.Geom().CylinderOf(e.Orig),
 				done: func(_ []byte, err error) {
 					if err != nil {
@@ -199,7 +199,7 @@ func (d *Driver) writeTable(done ErrFunc) {
 	// Pad to the fixed table allocation so stale tails are overwritten.
 	full := make([]byte, tableSectors(d.cfg.BlockSize)*geom.SectorSize)
 	copy(full, img)
-	d.enqueue(&ioreq{internal: true, write: true, sector: d.tableAt,
+	d.enqueue(&ioreq{internal: true, write: true, orig: d.tableAt, sector: d.tableAt,
 		count: len(full) / geom.SectorSize, data: full,
 		arriveMS: d.eng.Now(), cyl: d.dsk.Geom().CylinderOf(d.tableAt),
 		done: func(_ []byte, err error) {

@@ -131,7 +131,7 @@ var DefaultSweepBlocks = []int{25, 50, 100, 200, 400, 600, 800, 1018}
 // (o.Jobs workers). Points come back in the order of counts regardless
 // of scheduling.
 func RunBlockSweep(ctx context.Context, o Options, counts []int) ([]SweepPoint, error) {
-	rs, err := runUnits(ctx, sweepUnits(o, counts), runner.Config{Workers: o.Jobs})
+	rs, err := runUnits(ctx, sweepUnits(o, counts), o, runner.Config{Workers: o.Jobs})
 	if err != nil {
 		return nil, err
 	}

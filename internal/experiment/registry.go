@@ -73,15 +73,23 @@ func IDs() []string { return append([]string(nil), specOrder...) }
 // spec's needs on the parallel runner and returns the rendered reports.
 // An unknown id fails with the list of valid ids.
 func RunSpec(ctx context.Context, id string, o Options, cfg runner.Config) ([]Renderable, error) {
+	reports, _, err := RunSpecFull(ctx, id, o, cfg)
+	return reports, err
+}
+
+// RunSpecFull is RunSpec, additionally returning the gathered
+// ResultSet so callers can reach the per-job telemetry collectors and
+// runner metrics alongside the rendered reports.
+func RunSpecFull(ctx context.Context, id string, o Options, cfg runner.Config) ([]Renderable, *ResultSet, error) {
 	s, ok := Lookup(id)
 	if !ok {
-		return nil, fmt.Errorf("unknown experiment %q (valid: %s)", id, strings.Join(IDs(), ", "))
+		return nil, nil, fmt.Errorf("unknown experiment %q (valid: %s)", id, strings.Join(IDs(), ", "))
 	}
 	rs, err := Gather(ctx, s.Needs, o, cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return s.Report(rs), nil
+	return s.Report(rs), rs, nil
 }
 
 // reportsFor concatenates the output of other registered ids, in the

@@ -24,6 +24,7 @@ import (
 	"repro/internal/rig"
 	"repro/internal/sched"
 	"repro/internal/seek"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -228,12 +229,22 @@ func Execute(ctx context.Context, s Setup) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A collector in the context (injected per job by the harness)
+	// turns on telemetry for this run; nil leaves every hook on its
+	// zero-cost path.
+	col := telemetry.FromContext(ctx)
+	var schedCount *sched.Counting
+	if col != nil && col.SamplePeriodMS() > 0 {
+		schedCount = sched.NewCounting(schedPolicy)
+		schedPolicy = schedCount
+	}
 	r, err := rig.New(rig.Options{
 		Ctx:              ctx,
 		Disk:             model,
 		ReservedCyls:     s.ReservedCyls,
 		ReservedFirstCyl: s.ReservedFirstCyl,
 		Sched:            schedPolicy,
+		Telemetry:        col,
 	})
 	if err != nil {
 		return nil, err
@@ -303,13 +314,31 @@ func Execute(ctx context.Context, s Setup) (*Run, error) {
 		return nil, err
 	}
 
+	// The per-day access distributions consume the same event stream
+	// telemetry does; compose the counting sink with the collector so
+	// both see every request.
 	allCnt, readCnt := hotlist.NewExact(), hotlist.NewExact()
-	r.Driver.SetTap(func(write bool, _ int, block int64) {
-		allCnt.Observe(block)
-		if !write {
-			readCnt.Observe(block)
+	countSink := telemetry.SinkFunc(func(e *telemetry.Event) {
+		if e.Kind != telemetry.KindRequest {
+			return
+		}
+		allCnt.Observe(e.Block)
+		if !e.Write {
+			readCnt.Observe(e.Block)
 		}
 	})
+	if col != nil && col.SpansEnabled() {
+		r.Driver.SetSink(telemetry.Multi(countSink, col))
+	} else {
+		r.Driver.SetSink(countSink)
+	}
+	if col != nil && col.SamplePeriodMS() > 0 {
+		registerStackProbes(col, r, schedCount)
+		registerCacheProbes(col, "cache", fsys.Cache())
+		registerCacheProbes(col, "meta", fsys.MetaCache())
+		registerRearrangerProbes(col, rear)
+		col.StartSampler(r.Eng)
+	}
 
 	run := &Run{Setup: s, Curve: model.Seek}
 	for day := 0; day < s.Days; day++ {
@@ -369,6 +398,9 @@ func Execute(ctx context.Context, s Setup) (*Run, error) {
 		rear.ResetCounts()
 	}
 	run.WorkloadErrors = errorsOf()
+	if col != nil {
+		col.SetEngineEvents(r.Eng.Dispatched())
+	}
 	return run, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/fs"
 	"repro/internal/rig"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -47,11 +48,13 @@ func RunShared(ctx context.Context, o Options) (*SharedResult, error) {
 	totalBlocks := (model.Geom.TotalSectors() - 48*int64(model.Geom.SectorsPerCyl())) / 16
 	sysBlocks := totalBlocks * 6 / 10
 	usrBlocks := totalBlocks - sysBlocks - 16
+	col := telemetry.FromContext(ctx)
 	r, err := rig.New(rig.Options{
 		Ctx:             ctx,
 		Disk:            model,
 		ReservedCyls:    48,
 		PartitionBlocks: []int64{sysBlocks, usrBlocks},
+		Telemetry:       col,
 	})
 	if err != nil {
 		return nil, err
@@ -87,6 +90,13 @@ func RunShared(ctx context.Context, o Options) (*SharedResult, error) {
 	rear, err := core.New(r.Eng, r.Driver, core.Config{MaxBlocks: 1018})
 	if err != nil {
 		return nil, err
+	}
+	if col != nil && col.SamplePeriodMS() > 0 {
+		registerStackProbes(col, r, nil)
+		registerCacheProbes(col, "sys_cache", sysFS.Cache())
+		registerCacheProbes(col, "usr_cache", usrFS.Cache())
+		registerRearrangerProbes(col, rear)
+		col.StartSampler(r.Eng)
 	}
 
 	if err := await(r, "populate system", workload.DayStartMS/2, func(done func(error)) {
@@ -162,6 +172,9 @@ func RunShared(ctx context.Context, o Options) (*SharedResult, error) {
 			}
 		}
 		rear.ResetCounts()
+	}
+	if col != nil {
+		col.SetEngineEvents(r.Eng.Dispatched())
 	}
 	return &SharedResult{
 		Run:          run,

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/disk"
 	"repro/internal/runner"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -23,6 +24,12 @@ type Options struct {
 	// parallel runner directly (RunOnOff, RunPolicies, RunBlockSweep);
 	// 0 selects GOMAXPROCS. Results are identical for any value.
 	Jobs int
+	// Telemetry, when non-nil, gives every simulation job a private
+	// telemetry collector: span capture and/or periodic sampling per
+	// the options. The collectors land in ResultSet.Collectors in job
+	// order, so concatenated output is byte-identical for any Jobs
+	// value. nil (the default) is the zero-cost path.
+	Telemetry *telemetry.Options
 }
 
 func (o Options) days(def int) int {
@@ -45,7 +52,7 @@ type OnOff struct {
 // on both disks, running the two per-disk simulations in parallel on
 // the job runner (o.Jobs workers).
 func RunOnOff(ctx context.Context, fsname string, o Options) (*OnOff, error) {
-	rs, err := runUnits(ctx, onOffUnits(fsname, o), runner.Config{Workers: o.Jobs})
+	rs, err := runUnits(ctx, onOffUnits(fsname, o), o, runner.Config{Workers: o.Jobs})
 	if err != nil {
 		return nil, err
 	}
@@ -230,7 +237,7 @@ var PolicyNames = []string{"organ-pipe", "interleaved", "serial"}
 // applied every day after a warm-up day — running the six independent
 // configurations in parallel on the job runner (o.Jobs workers).
 func RunPolicies(ctx context.Context, o Options) (*Policies, error) {
-	rs, err := runUnits(ctx, policiesUnits(o), runner.Config{Workers: o.Jobs})
+	rs, err := runUnits(ctx, policiesUnits(o), o, runner.Config{Workers: o.Jobs})
 	if err != nil {
 		return nil, err
 	}

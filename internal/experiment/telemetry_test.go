@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/runner"
+	"repro/internal/telemetry"
+)
+
+// TestTelemetryParallelDeterminism is the determinism contract for the
+// observability layer: the concatenated trace and time-series output of
+// a telemetry-enabled gather must be byte-identical for 1 and 8
+// workers. It deliberately runs even under -short so the CI race step
+// exercises concurrent per-job collectors.
+func TestTelemetryParallelDeterminism(t *testing.T) {
+	gather := func(workers int) (trace, csv []byte) {
+		o := Options{
+			Days:     1,
+			WindowMS: 5 * 60 * 1000,
+			Telemetry: &telemetry.Options{
+				Spans:          true,
+				SamplePeriodMS: 60 * 1000,
+			},
+		}
+		rs, err := Gather(context.Background(),
+			[]Need{NeedSystem, NeedShared}, o, runner.Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tb, cb bytes.Buffer
+		if err := telemetry.WriteTrace(&tb, rs.Collectors); err != nil {
+			t.Fatal(err)
+		}
+		if err := telemetry.WriteCSV(&cb, rs.Collectors); err != nil {
+			t.Fatal(err)
+		}
+		if len(rs.Metrics) != len(rs.Collectors) {
+			t.Fatalf("%d metrics for %d collectors", len(rs.Metrics), len(rs.Collectors))
+		}
+		for i, c := range rs.Collectors {
+			if c.Events() == 0 {
+				t.Errorf("job %d (%s): no events captured", i, c.Name())
+			}
+			if c.EngineEvents() == 0 {
+				t.Errorf("job %d (%s): no engine event count", i, c.Name())
+			}
+			if rs.Metrics[i].Wall <= 0 || rs.Metrics[i].Failed {
+				t.Errorf("job %d (%s): bad metric %+v", i, c.Name(), rs.Metrics[i])
+			}
+		}
+		return tb.Bytes(), cb.Bytes()
+	}
+
+	seqTrace, seqCSV := gather(1)
+	parTrace, parCSV := gather(8)
+	if len(seqTrace) == 0 || len(seqCSV) == 0 {
+		t.Fatalf("empty telemetry output: %d trace bytes, %d csv bytes", len(seqTrace), len(seqCSV))
+	}
+	if !bytes.Equal(seqTrace, parTrace) {
+		t.Errorf("trace differs between 1 and 8 workers (%d vs %d bytes)", len(seqTrace), len(parTrace))
+	}
+	if !bytes.Equal(seqCSV, parCSV) {
+		t.Errorf("time series differs between 1 and 8 workers (%d vs %d bytes)", len(seqCSV), len(parCSV))
+	}
+}
+
+// Telemetry off must leave the result set's collectors nil and record
+// nothing — the zero-overhead default path.
+func TestTelemetryOffByDefault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run in -short mode")
+	}
+	rs, err := Gather(context.Background(), []Need{NeedShared},
+		Options{Days: 1, WindowMS: 5 * 60 * 1000}, runner.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Collectors != nil {
+		t.Errorf("collectors allocated without Options.Telemetry")
+	}
+	if len(rs.Metrics) != 1 || rs.Metrics[0].Wall <= 0 {
+		t.Errorf("harness metrics missing: %+v", rs.Metrics)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/runner"
+	"repro/internal/telemetry"
 )
 
 // Need identifies one shared simulation product that registered
@@ -56,6 +57,16 @@ type ResultSet struct {
 	Policies *Policies
 	Sweep    []SweepPoint
 	Shared   *SharedResult
+
+	// Collectors holds each simulation job's telemetry collector in
+	// job order when Options.Telemetry was set; nil otherwise.
+	// Concatenating their buffers in this order (telemetry.WriteTrace,
+	// telemetry.WriteCSV) yields byte-identical output for any worker
+	// count.
+	Collectors []*telemetry.Collector
+	// Metrics holds the runner's per-job measurements (name,
+	// wall-clock, units) in job order.
+	Metrics []runner.Metric
 }
 
 // unit pairs one independent simulation job with the step that installs
@@ -246,20 +257,35 @@ func Gather(ctx context.Context, needs []Need, o Options, cfg runner.Config) (*R
 			units = append(units, needUnits(n, o)...)
 		}
 	}
-	return runUnits(ctx, units, cfg)
+	return runUnits(ctx, units, o, cfg)
 }
 
 // runUnits runs units' jobs on the pool and applies results in order.
-func runUnits(ctx context.Context, units []unit, cfg runner.Config) (*ResultSet, error) {
+// When telemetry is requested, each job gets a private collector,
+// injected through the job's context so simulation code can pick it up
+// with telemetry.FromContext; collectors are assembled in job order.
+func runUnits(ctx context.Context, units []unit, o Options, cfg runner.Config) (*ResultSet, error) {
 	jobs := make([]runner.Job, len(units))
+	var cols []*telemetry.Collector
+	if o.Telemetry != nil {
+		cols = make([]*telemetry.Collector, len(units))
+	}
 	for i, u := range units {
 		jobs[i] = u.job
+		if o.Telemetry != nil {
+			col := telemetry.NewCollector(u.job.Name, *o.Telemetry)
+			cols[i] = col
+			inner := u.job.Run
+			jobs[i].Run = func(ctx context.Context) (any, error) {
+				return inner(telemetry.NewContext(ctx, col))
+			}
+		}
 	}
-	results, err := runner.Run(ctx, jobs, cfg)
+	results, metrics, err := runner.RunWithMetrics(ctx, jobs, cfg)
 	if err != nil {
 		return nil, err
 	}
-	rs := &ResultSet{}
+	rs := &ResultSet{Collectors: cols, Metrics: metrics}
 	for i, u := range units {
 		u.apply(rs, results[i])
 	}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/label"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Options configures a Rig.
@@ -43,6 +44,11 @@ type Options struct {
 	PartitionBlocks []int64
 	// RequestTableSize overrides the driver's monitoring table size.
 	RequestTableSize int
+	// Telemetry, when non-nil and capturing spans, is attached as the
+	// driver's event sink so every request lifecycle of this rig is
+	// recorded. Callers needing extra consumers compose their own sink
+	// with telemetry.Multi and SetSink afterwards.
+	Telemetry *telemetry.Collector
 }
 
 // Rig is an assembled simulation stack.
@@ -137,6 +143,9 @@ func New(opts Options) (*Rig, error) {
 	}, false)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Telemetry != nil && opts.Telemetry.SpansEnabled() {
+		drv.SetSink(opts.Telemetry)
 	}
 	return &Rig{Eng: eng, Disk: dsk, Label: lbl, Driver: drv, ctx: opts.Ctx}, nil
 }

@@ -69,6 +69,30 @@ type Config struct {
 	OnProgress func(Progress)
 }
 
+// Metric is one job's harness-level measurements, recorded for every
+// job whatever its outcome.
+type Metric struct {
+	// Name is the job's name.
+	Name string
+	// Wall is the job's wall-clock execution time (zero for jobs that
+	// were skipped after a cancellation).
+	Wall time.Duration
+	// Units is the job's declared size (the experiment harness uses
+	// simulated days).
+	Units float64
+	// Failed reports whether the job returned an error.
+	Failed bool
+}
+
+// Rate returns the job's units per wall-clock second — sim-days/sec in
+// the experiment harness — or 0 when no time was measured.
+func (m Metric) Rate() float64 {
+	if m.Wall <= 0 {
+		return 0
+	}
+	return m.Units / m.Wall.Seconds()
+}
+
 // Run executes jobs on a worker pool and returns their results in job
 // order (results[i] belongs to jobs[i], whatever order they finished
 // in). A job that panics fails with an error carrying the panic value
@@ -77,6 +101,13 @@ type Config struct {
 // starting new jobs, and Run reports the failed job with the lowest
 // index so the returned error does not depend on scheduling.
 func Run(ctx context.Context, jobs []Job, cfg Config) ([]any, error) {
+	results, _, err := RunWithMetrics(ctx, jobs, cfg)
+	return results, err
+}
+
+// RunWithMetrics is Run, additionally returning per-job metrics in job
+// order. Metrics are recorded even when the run fails.
+func RunWithMetrics(ctx context.Context, jobs []Job, cfg Config) ([]any, []Metric, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -88,7 +119,7 @@ func Run(ctx context.Context, jobs []Job, cfg Config) ([]any, error) {
 		workers = len(jobs)
 	}
 	if len(jobs) == 0 {
-		return nil, ctx.Err()
+		return nil, nil, ctx.Err()
 	}
 	if cfg.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -106,6 +137,10 @@ func Run(ctx context.Context, jobs []Job, cfg Config) ([]any, error) {
 	results := make([]any, len(jobs))
 	errs := make([]error, len(jobs))
 	skipped := make([]bool, len(jobs))
+	metrics := make([]Metric, len(jobs))
+	for i, j := range jobs {
+		metrics[i] = Metric{Name: j.Name, Units: j.Units}
+	}
 	indexes := make(chan int)
 	start := time.Now()
 
@@ -140,10 +175,14 @@ func Run(ctx context.Context, jobs []Job, cfg Config) ([]any, error) {
 			for i := range indexes {
 				if err := ctx.Err(); err != nil {
 					skipped[i] = true
+					metrics[i].Failed = true
 					finish(i, nil, fmt.Errorf("not started: %w", err))
 					continue
 				}
+				jobStart := time.Now()
 				v, err := runJob(ctx, jobs[i])
+				metrics[i].Wall = time.Since(jobStart)
+				metrics[i].Failed = err != nil
 				finish(i, v, err)
 			}
 		}()
@@ -159,15 +198,15 @@ func Run(ctx context.Context, jobs []Job, cfg Config) ([]any, error) {
 	// not depend on which queued jobs the cancel happened to catch.
 	for i, err := range errs {
 		if err != nil && !skipped[i] {
-			return results, fmt.Errorf("runner: job %q: %w", jobs[i].Name, err)
+			return results, metrics, fmt.Errorf("runner: job %q: %w", jobs[i].Name, err)
 		}
 	}
 	for i, err := range errs {
 		if err != nil {
-			return results, fmt.Errorf("runner: job %q: %w", jobs[i].Name, err)
+			return results, metrics, fmt.Errorf("runner: job %q: %w", jobs[i].Name, err)
 		}
 	}
-	return results, nil
+	return results, metrics, nil
 }
 
 // runJob invokes one job, converting a panic into an error so a single

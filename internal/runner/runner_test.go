@@ -219,3 +219,61 @@ func TestManyJobsFewWorkers(t *testing.T) {
 		t.Errorf("concurrency peaked at %d, want <= 4", p)
 	}
 }
+
+func TestRunWithMetrics(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := []Job{
+		{Name: "ok", Units: 3, Run: func(context.Context) (any, error) {
+			time.Sleep(2 * time.Millisecond)
+			return 1, nil
+		}},
+		{Name: "bad", Units: 2, Run: func(context.Context) (any, error) {
+			return nil, boom
+		}},
+	}
+	_, metrics, err := RunWithMetrics(context.Background(), jobs, Config{Workers: 2})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if len(metrics) != 2 {
+		t.Fatalf("got %d metrics, want 2", len(metrics))
+	}
+	ok, bad := metrics[0], metrics[1]
+	if ok.Name != "ok" || ok.Units != 3 || ok.Failed || ok.Wall <= 0 {
+		t.Errorf("ok metric = %+v", ok)
+	}
+	if ok.Rate() <= 0 {
+		t.Errorf("ok rate = %v, want > 0", ok.Rate())
+	}
+	if bad.Name != "bad" || !bad.Failed {
+		t.Errorf("bad metric = %+v", bad)
+	}
+	if (Metric{}).Rate() != 0 {
+		t.Error("zero metric should have zero rate")
+	}
+}
+
+func TestMetricsOnSkippedJobs(t *testing.T) {
+	boom := errors.New("boom")
+	var jobs []Job
+	jobs = append(jobs, job("fail", func(context.Context) (any, error) { return nil, boom }))
+	for i := 0; i < 20; i++ {
+		jobs = append(jobs, job(fmt.Sprint(i), func(ctx context.Context) (any, error) {
+			time.Sleep(time.Millisecond)
+			return nil, ctx.Err()
+		}))
+	}
+	_, metrics, err := RunWithMetrics(context.Background(), jobs, Config{Workers: 1})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	skipped := 0
+	for _, m := range metrics[1:] {
+		if m.Failed && m.Wall == 0 {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Error("cancellation skipped no jobs, expected Failed metrics with zero wall time")
+	}
+}

@@ -158,3 +158,37 @@ func abs(x int) int {
 	}
 	return x
 }
+
+// Counting wraps a Scheduler and counts its dispatch decisions — how
+// many picks it made and how long the pending queue was at each pick.
+// The wrapped policy's choices are unchanged, so instrumenting a run
+// cannot perturb it. Telemetry probes read the counters.
+type Counting struct {
+	inner  Scheduler
+	picks  int64
+	queued int64 // sum of pending-queue lengths at pick time
+}
+
+// NewCounting returns a counting wrapper around inner.
+func NewCounting(inner Scheduler) *Counting { return &Counting{inner: inner} }
+
+// Name implements Scheduler, passing the wrapped policy's name through.
+func (c *Counting) Name() string { return c.inner.Name() }
+
+// Pick implements Scheduler.
+func (c *Counting) Pick(headCyl int, pending []Cylindered) int {
+	c.picks++
+	c.queued += int64(len(pending))
+	return c.inner.Pick(headCyl, pending)
+}
+
+// Picks returns the number of dispatch decisions made.
+func (c *Counting) Picks() int64 { return c.picks }
+
+// MeanQueue returns the mean pending-queue length over all picks.
+func (c *Counting) MeanQueue() float64 {
+	if c.picks == 0 {
+		return 0
+	}
+	return float64(c.queued) / float64(c.picks)
+}

@@ -155,3 +155,23 @@ func TestSCANDrainsAllRequests(t *testing.T) {
 		t.Errorf("SCAN travel = %d cylinders, want <= %d", travel, 2*1500)
 	}
 }
+
+func TestCounting(t *testing.T) {
+	c := NewCounting(FCFS{})
+	if c.Name() != "fcfs" {
+		t.Errorf("Name = %q, want the wrapped policy's", c.Name())
+	}
+	if c.Picks() != 0 || c.MeanQueue() != 0 {
+		t.Error("fresh counter should read zero")
+	}
+	if i := c.Pick(0, cyls(5, 9)); i != 0 {
+		t.Errorf("Pick = %d, want the wrapped FCFS choice 0", i)
+	}
+	c.Pick(5, cyls(9, 2, 7, 1))
+	if c.Picks() != 2 {
+		t.Errorf("Picks = %d, want 2", c.Picks())
+	}
+	if got, want := c.MeanQueue(), 3.0; got != want {
+		t.Errorf("MeanQueue = %v, want %v (2 then 4 pending)", got, want)
+	}
+}

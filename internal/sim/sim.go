@@ -44,6 +44,29 @@ func (e *Engine) At(t float64, fn func()) {
 // After schedules fn to run d milliseconds from now.
 func (e *Engine) After(d float64, fn func()) { e.At(e.now+d, fn) }
 
+// Every schedules fn to run every period milliseconds, first at
+// now+period, until the returned cancel function is called. Periodic
+// observers (the telemetry sampler, daemons in tests) use it; the
+// recurring event keeps the queue non-empty, so drive the engine with
+// RunUntil horizons rather than a bare Run.
+func (e *Engine) Every(period float64, fn func()) (cancel func()) {
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		e.After(period, tick)
+	}
+	e.After(period, tick)
+	return func() { stopped = true }
+}
+
+// Dispatched returns the number of events fired since the engine was
+// created — the per-job event counter surfaced by harness telemetry.
+func (e *Engine) Dispatched() int64 { return e.dispatch }
+
 // Pending returns the number of scheduled events.
 func (e *Engine) Pending() int { return e.events.Len() }
 

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/driver"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Record is one block request: its arrival time in simulated
@@ -148,33 +149,38 @@ func ReadText(r io.Reader) ([]Record, error) {
 }
 
 // Capture records every file system block request issued to the driver
-// while attached.
+// while attached. It consumes the driver's telemetry event stream,
+// keeping only the KindRequest events (the pre-translation block
+// addresses a trace replays).
 type Capture struct {
 	eng     *sim.Engine
 	drv     *driver.Driver
 	records []Record
 }
 
-// NewCapture attaches a capture tap to the driver. Detach it with Close
-// before attaching another.
+// NewCapture attaches a capture sink to the driver. It replaces any
+// sink already attached; detach it with Close before attaching another.
 func NewCapture(eng *sim.Engine, drv *driver.Driver) *Capture {
 	c := &Capture{eng: eng, drv: drv}
-	drv.SetTap(func(write bool, part int, block int64) {
+	drv.SetSink(telemetry.SinkFunc(func(e *telemetry.Event) {
+		if e.Kind != telemetry.KindRequest {
+			return
+		}
 		c.records = append(c.records, Record{
-			TimeMS: eng.Now(),
-			Write:  write,
-			Part:   part,
-			Block:  block,
+			TimeMS: e.TimeMS,
+			Write:  e.Write,
+			Part:   e.Part,
+			Block:  e.Block,
 		})
-	})
+	}))
 	return c
 }
 
 // Records returns the captured records.
 func (c *Capture) Records() []Record { return c.records }
 
-// Close detaches the tap.
-func (c *Capture) Close() { c.drv.SetTap(nil) }
+// Close detaches the capture sink.
+func (c *Capture) Close() { c.drv.SetSink(nil) }
 
 // Replay schedules every record against the driver at its recorded time
 // (shifted to start at the engine's current time), and calls done when
