@@ -13,8 +13,11 @@
 // measurements are reported.
 //
 // With -telemetry FILE, a time-series CSV written by abrsim -sample is
-// summarized as a queue-depth-over-time table per job. The flag works
-// alone or alongside -trace.
+// summarized as a queue-depth-over-time table per job, plus the final
+// fault-tolerance counters (faults, retries, remaps, unrecovered) when
+// the run sampled them (abrsim -fault-plan); files without those
+// columns are summarized without the fault line. The flag works alone
+// or alongside -trace.
 package main
 
 import (
@@ -97,7 +100,9 @@ func reportTelemetry(path string) error {
 	for _, job := range jobs {
 		rs := byJob[job]
 		if _, ok := rs[0].Values["queue_depth"]; !ok {
-			fmt.Printf("%s: no queue_depth column in %d samples\n\n", job, len(rs))
+			fmt.Printf("%s: no queue_depth column in %d samples\n", job, len(rs))
+			printFaultCounters(rs)
+			fmt.Println()
 			continue
 		}
 		lo, hi := rs[0].TimeMS, rs[0].TimeMS
@@ -146,9 +151,23 @@ func reportTelemetry(path string) error {
 			fmt.Printf("  %6.1fh-%6.1fh %8d %10.2f %8.0f\n",
 				from/3_600_000, to/3_600_000, b.n, b.sum/float64(b.n), b.max)
 		}
+		printFaultCounters(rs)
 		fmt.Println()
 	}
 	return nil
+}
+
+// printFaultCounters prints the job's final fault-tolerance counters.
+// The columns exist only when the run sampled with an active fault plan
+// (they are cumulative, so the last sample holds the totals); files
+// without them are silently summarized without this line.
+func printFaultCounters(rs []telemetry.SampleRow) {
+	last := rs[len(rs)-1].Values
+	if _, ok := last["faults"]; !ok {
+		return
+	}
+	fmt.Printf("  fault counters: %.0f faults, %.0f retries, %.0f remaps, %.0f unrecovered\n",
+		last["faults"], last["retries"], last["remaps"], last["unrecovered"])
 }
 
 func run(ctx context.Context, traceFile, diskName, schedName, policyName, format string, rearrange int) error {

@@ -6,6 +6,7 @@
 //
 //	abrsim -exp table2 [-days N] [-hours H] [-seed S] [-jobs N] [-timeout D]
 //	       [-trace FILE] [-sample D [-telemetry FILE]] [-pprof ADDR]
+//	       [-fault-plan PLAN] [-fault-seed S] [-crash-after N]
 //
 // Experiment ids come from the experiment registry; -h lists them all.
 // Independent simulations (each disk, policy, and sweep configuration)
@@ -20,6 +21,14 @@
 // and writes the time series as CSV to -telemetry; -pprof serves
 // net/http/pprof on the given address for profiling the harness
 // itself.
+//
+// Fault injection: -fault-plan injects device faults per the plan
+// grammar (e.g. "seed=3;twrite=1e-4;bad=40000-40015") into every
+// simulation unit; -fault-seed and -crash-after are shorthands that
+// override the plan's seed and power-loss point. Fault draws are keyed
+// by (seed, operation index), so results stay byte-identical for any
+// -jobs value. The registered "faults" and "crash" experiments use
+// their own built-in plans.
 package main
 
 import (
@@ -33,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/fault"
 	"repro/internal/runner"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
@@ -49,10 +59,19 @@ func main() {
 	sample := flag.Duration("sample", 0, "telemetry sampling period in sim time (0 = off)")
 	teleFile := flag.String("telemetry", "", "write sampled time series as CSV to this file (default telemetry.csv when -sample is set)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	faultPlan := flag.String("fault-plan", "", `inject device faults per this plan (e.g. "seed=3;twrite=1e-4;bad=40000-40015")`)
+	faultSeed := flag.Uint64("fault-seed", 0, "override the fault plan's seed (implies an empty plan if -fault-plan is unset)")
+	crashAfter := flag.Int64("crash-after", 0, "power loss after this many device operations (adds to the fault plan)")
 	flag.Usage = usage
 	flag.Parse()
 
 	o := experiment.Options{Days: *days, Seed: *seed, Jobs: *jobs}
+	plan, err := buildFaultPlan(*faultPlan, *faultSeed, *crashAfter)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "abrsim:", err)
+		os.Exit(2)
+	}
+	o.Fault = plan
 	if *hours > 0 {
 		o.WindowMS = *hours * workload.HourMS
 	}
@@ -77,6 +96,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "abrsim:", err)
 		os.Exit(1)
 	}
+}
+
+// buildFaultPlan assembles the fault plan from the CLI flags: the plan
+// grammar first, then the seed and crash-point shorthands on top. All
+// flags unset returns nil — the zero-overhead path.
+func buildFaultPlan(spec string, seed uint64, crashAfter int64) (*fault.Plan, error) {
+	if spec == "" && seed == 0 && crashAfter == 0 {
+		return nil, nil
+	}
+	plan := &fault.Plan{}
+	if spec != "" {
+		p, err := fault.ParsePlan(spec)
+		if err != nil {
+			return nil, err
+		}
+		plan = &p
+	}
+	if seed != 0 {
+		plan.Seed = seed
+	}
+	if crashAfter != 0 {
+		plan.CrashAfterOps = crashAfter
+	}
+	return plan, nil
 }
 
 // usage prints the flag help plus the registry's experiment ids, so the

@@ -29,8 +29,10 @@ import (
 // Magic identifies an encoded block table ("BTBL").
 const Magic uint32 = 0x4254424C
 
-// Version is the current encoding version.
-const Version uint16 = 1
+// Version is the current encoding version. Version 2 added the
+// generation stamp that crash-safe dual-slot table writes order
+// themselves by.
+const Version uint16 = 2
 
 // Errors returned by Decode.
 var (
@@ -53,6 +55,12 @@ type Table struct {
 	blockSectors int
 	byOrig       map[int64]*Entry
 	byNew        map[int64]*Entry
+
+	// Gen is the table's generation stamp. The driver increments it on
+	// every committed table write; recovery picks the on-disk slot with
+	// the highest generation among those that decode. It rides through
+	// Encode/Decode and has no meaning to the table itself.
+	Gen uint64
 }
 
 // New returns an empty table for blocks of the given size.
@@ -161,10 +169,14 @@ func (t *Table) Entries() []Entry {
 // whole number of sectors.
 //
 //	header:  magic u32 | version u16 | blockSectors u16 | count u32 |
-//	         checksum u32 (over entries)
+//	         checksum u32 (over generation + entries) | generation u64
 //	entry:   orig u64 | new u64 | flags u16
+//
+// The checksum covers the generation stamp and the entry bytes, so a
+// torn write that mixes a fresh header with stale entries (or tears
+// the generation field itself) cannot decode as valid.
 const (
-	headerSize    = 16
+	headerSize    = 24
 	entrySize     = 18
 	flagDirty     = 1 << 0
 	offHdrMagic   = 0
@@ -172,6 +184,7 @@ const (
 	offHdrBlkSec  = 6
 	offHdrCount   = 8
 	offHdrCksum   = 12
+	offHdrGen     = 16
 )
 
 // EncodedSectors returns the number of sectors needed to store a table
@@ -200,6 +213,7 @@ func (t *Table) Encode() []byte {
 	be.PutUint16(buf[offHdrVersion:], Version)
 	be.PutUint16(buf[offHdrBlkSec:], uint16(t.blockSectors))
 	be.PutUint32(buf[offHdrCount:], uint32(len(entries)))
+	be.PutUint64(buf[offHdrGen:], t.Gen)
 	for i, e := range entries {
 		o := headerSize + i*entrySize
 		be.PutUint64(buf[o:], uint64(e.Orig))
@@ -210,7 +224,7 @@ func (t *Table) Encode() []byte {
 		}
 		be.PutUint16(buf[o+16:], flags)
 	}
-	be.PutUint32(buf[offHdrCksum:], crc(buf[headerSize:headerSize+len(entries)*entrySize]))
+	be.PutUint32(buf[offHdrCksum:], crc(buf[offHdrGen:headerSize+len(entries)*entrySize]))
 	return buf
 }
 
@@ -232,14 +246,17 @@ func Decode(buf []byte) (*Table, error) {
 		return nil, fmt.Errorf("blocktable: invalid block size %d sectors", blkSec)
 	}
 	count := int(be.Uint32(buf[offHdrCount:]))
-	need := headerSize + count*entrySize
-	if len(buf) < need {
+	// Validate the count against the image length in 64-bit arithmetic
+	// so a hostile count cannot overflow the size computation.
+	if int64(count)*entrySize > int64(len(buf))-headerSize {
 		return nil, fmt.Errorf("blocktable: image of %d bytes holds fewer than %d entries", len(buf), count)
 	}
-	if crc(buf[headerSize:need]) != be.Uint32(buf[offHdrCksum:]) {
+	need := headerSize + count*entrySize
+	if crc(buf[offHdrGen:need]) != be.Uint32(buf[offHdrCksum:]) {
 		return nil, ErrBadChecksum
 	}
 	t := New(geom.BlockSize(blkSec * geom.SectorSize))
+	t.Gen = be.Uint64(buf[offHdrGen:])
 	for i := 0; i < count; i++ {
 		o := headerSize + i*entrySize
 		orig := int64(be.Uint64(buf[o:]))

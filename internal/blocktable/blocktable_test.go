@@ -151,6 +151,28 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	}
 }
 
+func TestGenerationRoundTrip(t *testing.T) {
+	bt := New(geom.Block8K)
+	if err := bt.Add(160, 64000); err != nil {
+		t.Fatal(err)
+	}
+	bt.Gen = 41
+	got, err := Decode(bt.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Gen != 41 {
+		t.Errorf("Gen = %d, want 41", got.Gen)
+	}
+	// A torn generation field (fresh header bytes over stale ones) must
+	// not decode as valid: the checksum covers the stamp.
+	img := bt.Encode()
+	img[offHdrGen+7] ^= 0x01
+	if _, err := Decode(img); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("corrupt generation decoded: %v", err)
+	}
+}
+
 func TestDecodeEmptyTable(t *testing.T) {
 	bt := New(geom.Block8K)
 	got, err := Decode(bt.Encode())
@@ -230,7 +252,7 @@ func TestEncodedSectors(t *testing.T) {
 	if got := EncodedSectors(0); got != 1 {
 		t.Errorf("EncodedSectors(0) = %d", got)
 	}
-	// 16 + 27*18 = 502 <= 512; 28 entries need 520 -> 2 sectors.
+	// 24 + 27*18 = 510 <= 512; 28 entries need 528 -> 2 sectors.
 	if got := EncodedSectors(27); got != 1 {
 		t.Errorf("EncodedSectors(27) = %d", got)
 	}

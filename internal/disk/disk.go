@@ -19,6 +19,7 @@ package disk
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/seek"
 )
@@ -119,6 +120,11 @@ type Disk struct {
 	// Counters.
 	nReads, nWrites, nBufferHits int64
 	cumSeekCyls                  int64
+
+	// faults, when non-nil, is consulted before every device operation
+	// and may fail it (media/transient errors) or kill the device
+	// (simulated power loss, leaving an in-flight write torn).
+	faults *fault.Injector
 }
 
 // New returns an initialized disk for the given model with the head
@@ -289,6 +295,9 @@ func (d *Disk) Read(nowMS float64, sector int64, count int) ([]byte, Timing, err
 	if err := d.validateRange(sector, count); err != nil {
 		return nil, Timing{}, err
 	}
+	if fe := d.faults.BeginOp(false, sector, count); fe != nil {
+		return nil, Timing{}, fe
+	}
 	d.nReads++
 	if d.bufferCovers(nowMS, sector, count) {
 		d.nBufferHits++
@@ -314,6 +323,14 @@ func (d *Disk) Write(nowMS float64, sector int64, count int, data []byte) (Timin
 	}
 	if len(data) != count*geom.SectorSize {
 		return Timing{}, fmt.Errorf("disk: write of %d sectors with %d bytes of data", count, len(data))
+	}
+	if fe := d.faults.BeginOp(true, sector, count); fe != nil {
+		if fe.Class == fault.Crash {
+			// Power died with the write in flight: a deterministic
+			// prefix of the data reached the media.
+			d.tearWrite(sector, data)
+		}
+		return Timing{}, fe
 	}
 	d.nWrites++
 	d.invalidateBufferRange(sector, count)
@@ -393,6 +410,34 @@ func (d *Disk) PokeData(sector int64, data []byte) error {
 	d.writeData(sector, data)
 	d.invalidateBufferRange(sector, count)
 	return nil
+}
+
+// SetFaults attaches a fault injector to the disk. Passing nil detaches
+// it (used by recovery harnesses to re-attach a crashed disk cleanly).
+// Fault checks happen before any mechanical service, so a plan that
+// injects nothing leaves service times untouched.
+func (d *Disk) SetFaults(in *fault.Injector) { d.faults = in }
+
+// Faults returns the attached injector, or nil.
+func (d *Disk) Faults() *fault.Injector { return d.faults }
+
+// tearWrite applies the prefix of data that made it to the media before
+// power was lost: a run of complete sectors plus a partial overlay of
+// the next sector, with the split point drawn deterministically from
+// the fault plan.
+func (d *Disk) tearWrite(sector int64, data []byte) {
+	n := d.faults.TornBytes(len(data))
+	full := n / geom.SectorSize
+	if full > 0 {
+		d.writeData(sector, data[:full*geom.SectorSize])
+	}
+	if rem := n % geom.SectorSize; rem > 0 {
+		s := sector + int64(full)
+		old := d.readData(s, 1)
+		copy(old[:rem], data[full*geom.SectorSize:full*geom.SectorSize+rem])
+		d.writeData(s, old)
+	}
+	d.invalidateBufferRange(sector, len(data)/geom.SectorSize)
 }
 
 // ParkHead moves the head to the given cylinder with no timing effects.

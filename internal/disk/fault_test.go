@@ -1,0 +1,99 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/geom"
+)
+
+func sectorFill(b byte, sectors int) []byte {
+	out := make([]byte, sectors*geom.SectorSize)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+func TestMediaErrorFailsWithoutSideEffects(t *testing.T) {
+	d := MustNew(Toshiba())
+	d.SetFaults(fault.NewInjector(fault.Plan{Bad: []fault.SectorRange{{Start: 340, End: 356}}}))
+
+	if _, err := d.Write(0, 340, 16, sectorFill(0xAA, 16)); err == nil {
+		t.Fatal("write to bad range succeeded")
+	}
+	if got := d.PeekData(340, 16); !bytes.Equal(got, make([]byte, 16*geom.SectorSize)) {
+		t.Error("failed write stored data")
+	}
+	var fe *fault.Error
+	_, _, err := d.Read(0, 340, 16)
+	if !errors.As(err, &fe) || fe.Class != fault.Media {
+		t.Fatalf("read of bad range: %v", err)
+	}
+	reads, writes, _ := d.Counters()
+	if reads != 0 || writes != 0 {
+		t.Errorf("faulted ops counted as serviced: reads=%d writes=%d", reads, writes)
+	}
+	// Neighbouring sectors still work.
+	if _, err := d.Write(0, 356, 16, sectorFill(0xBB, 16)); err != nil {
+		t.Fatalf("adjacent write: %v", err)
+	}
+}
+
+func TestCrashTearsInFlightWrite(t *testing.T) {
+	d := MustNew(Toshiba())
+	if err := d.PokeData(0, sectorFill(0x11, 16)); err != nil {
+		t.Fatal(err)
+	}
+	d.SetFaults(fault.NewInjector(fault.Plan{Seed: 9, CrashAfterOps: 1}))
+
+	_, err := d.Write(0, 0, 16, sectorFill(0x22, 16))
+	if !errors.Is(err, fault.ErrCrash) {
+		t.Fatalf("crashing write returned %v", err)
+	}
+	torn := d.faults.TornBytes(16 * geom.SectorSize)
+	got := d.PeekData(0, 16)
+	for i, b := range got {
+		want := byte(0x11)
+		if i < torn {
+			want = 0x22
+		}
+		if b != want {
+			t.Fatalf("byte %d = %#x, want %#x (torn at %d)", i, b, want, torn)
+		}
+	}
+	// The device is dead: every subsequent op fails.
+	if _, _, err := d.Read(0, 512, 1); !errors.Is(err, fault.ErrCrash) {
+		t.Errorf("post-crash read: %v", err)
+	}
+	// Re-attach cleanly: detach the injector and the data is readable.
+	d.SetFaults(nil)
+	if _, _, err := d.Read(0, 0, 16); err != nil {
+		t.Errorf("read after recovery: %v", err)
+	}
+}
+
+func TestInertPlanLeavesTimingUntouched(t *testing.T) {
+	plain := MustNew(Fujitsu())
+	faulty := MustNew(Fujitsu())
+	faulty.SetFaults(fault.NewInjector(fault.Plan{Seed: 1}))
+
+	now := 0.0
+	for i := 0; i < 50; i++ {
+		sector := int64(i*137) % 10000
+		_, ta, err := plain.Read(now, sector, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, tb, err := faulty.Read(now, sector, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ta != tb {
+			t.Fatalf("op %d: timing diverged %+v vs %+v", i, ta, tb)
+		}
+		now += ta.TotalMS()
+	}
+}

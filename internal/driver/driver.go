@@ -26,9 +26,11 @@ package driver
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/blocktable"
 	"repro/internal/disk"
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/label"
 	"repro/internal/sched"
@@ -49,6 +51,17 @@ type Config struct {
 	// HistMaxMS is the bucket range of the time histograms in
 	// milliseconds; zero selects 4000.
 	HistMaxMS int
+	// Faults, when non-nil, is the fault injector shared with the disk.
+	// Attaching it switches the driver into fault-tolerant mode: retries
+	// with backoff, bad-block remapping, and crash-safe dual-slot block
+	// table writes.
+	Faults *fault.Injector
+	// MaxRetries bounds re-issues of a transiently failing operation;
+	// zero selects 3.
+	MaxRetries int
+	// RetryBaseMS is the first retry backoff in simulated milliseconds;
+	// each further attempt doubles it. Zero selects 2 ms.
+	RetryBaseMS float64
 }
 
 func (c Config) withDefaults() Config {
@@ -64,6 +77,12 @@ func (c Config) withDefaults() Config {
 	if c.HistMaxMS == 0 {
 		c.HistMaxMS = 4000
 	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.RetryBaseMS == 0 {
+		c.RetryBaseMS = 2.0
+	}
 	return c
 }
 
@@ -73,6 +92,10 @@ var (
 	ErrBadBlock      = errors.New("driver: block address out of range")
 	ErrNotAligned    = errors.New("driver: address not block-aligned")
 )
+
+// ErrDead is delivered to requests issued after the simulated power
+// loss. It unwraps to fault.ErrCrash.
+var ErrDead = fmt.Errorf("driver: device is dead: %w", fault.ErrCrash)
 
 // DoneFunc is the completion callback of an asynchronous request. For
 // reads, data holds the returned bytes; for writes data is nil.
@@ -87,8 +110,11 @@ type ioreq struct {
 	sector     int64 // post-redirect physical target sector
 	count      int   // sectors
 	qdepth     int   // operations ahead of this one at queue entry
+	attempt    int   // service attempts so far (fault retries)
+	phase      string
 	data       []byte
 	arriveMS   float64
+	dispatchMS float64 // first queue exit; retries keep the original
 	cyl        int
 	done       DoneFunc
 }
@@ -119,6 +145,19 @@ type Driver struct {
 	sink  telemetry.Sink
 	ev    telemetry.Event // scratch event, reused across emissions
 	cum   Counters
+
+	// Fault handling state. inj is the injector shared with the disk
+	// (nil when fault injection is off); dead is set by a simulated
+	// power loss and fails every subsequent request; remaps is the
+	// bad-block remap table mapping a failed physical block to its
+	// spare; spares marks reserved slots consumed as spares; spareCursor
+	// is the next spare candidate, allocated downward from the top of
+	// the reserved region.
+	inj         *fault.Injector
+	dead        bool
+	remaps      map[int64]int64
+	spares      map[int64]bool
+	spareCursor int64
 
 	// fcfsCyl tracks the cylinder of the previous arrival (in original,
 	// unrearranged coordinates) for the arrival-order seek-distance
@@ -156,6 +195,9 @@ func Attach(eng *sim.Engine, dsk *disk.Disk, cfg Config, recover bool) (*Driver,
 		moving: make(map[int64][]*pendingStrategy),
 		mon:    newMonitor(cfg.RequestTableSize),
 		stats:  newStats(cfg.HistMaxMS),
+		inj:    cfg.Faults,
+		remaps: make(map[int64]int64),
+		spares: make(map[int64]bool),
 	}
 	if err := lbl.CheckBlockAligned(cfg.BlockSize.Sectors()); err != nil {
 		return nil, fmt.Errorf("driver attach: %w", err)
@@ -163,12 +205,7 @@ func Attach(eng *sim.Engine, dsk *disk.Disk, cfg Config, recover bool) (*Driver,
 	if lbl.Rearranged {
 		d.tableAt = lbl.ReservedStart
 		img := dsk.PeekData(d.tableAt, tableSectors(cfg.BlockSize))
-		var bt *blocktable.Table
-		if recover {
-			bt, err = blocktable.RecoverDecode(img)
-		} else {
-			bt, err = blocktable.Decode(img)
-		}
+		bt, err := decodeTableImage(img, recover)
 		if err != nil {
 			return nil, fmt.Errorf("driver attach: reading block table: %w", err)
 		}
@@ -181,15 +218,57 @@ func Attach(eng *sim.Engine, dsk *disk.Disk, cfg Config, recover bool) (*Driver,
 	return d, nil
 }
 
-// tableSectors is the fixed on-disk allocation for the block table at
+// tableAllocEntries sizes the fixed on-disk block table allocation at
 // the start of the reserved region: room for 16k entries.
+const tableAllocEntries = 16384
+
+// tableSectors is the fixed on-disk allocation for the block table.
 func tableSectors(bs geom.BlockSize) int {
-	return blocktable.EncodedSectors(maxTableEntries)
+	return blocktable.EncodedSectors(tableAllocEntries)
 }
 
-// maxTableEntries bounds the number of rearranged blocks; 16384 entries
-// comfortably exceeds the paper's largest configuration (3500 blocks).
-const maxTableEntries = 16384
+// slotSectors is the size of one of the two table-write slots inside
+// the fixed allocation. Fault-tolerant mode alternates committed table
+// writes between the slots so a crash can tear at most the slot being
+// written; the other still holds the previous generation intact.
+func slotSectors(bs geom.BlockSize) int {
+	return tableSectors(bs) / 2
+}
+
+// maxTableEntries bounds the number of rearranged blocks to what one
+// dual-write slot can hold (8190 for 8 KB blocks) — still more than
+// twice the paper's largest configuration (3500 blocks).
+var maxTableEntries = blocktable.MaxEntriesIn(slotSectors(geom.Block8K))
+
+// decodeTableImage parses the on-disk table allocation, choosing the
+// newest valid copy: each of the two write slots is decoded
+// independently and the one with the higher generation wins. Legacy
+// full-prefix writes leave slot B zeroed (never valid), so they decode
+// through slot A unchanged. recover selects the conservative path that
+// marks every entry dirty (Section 4.1.2).
+func decodeTableImage(img []byte, recover bool) (*blocktable.Table, error) {
+	ss := slotSectors(geom.Block8K) * geom.SectorSize
+	a, errA := blocktable.Decode(img[:ss])
+	b, errB := blocktable.Decode(img[ss : 2*ss])
+	var t *blocktable.Table
+	switch {
+	case errA == nil && errB == nil:
+		t = a
+		if b.Gen > a.Gen {
+			t = b
+		}
+	case errA == nil:
+		t = a
+	case errB == nil:
+		t = b
+	default:
+		return nil, errA
+	}
+	if recover {
+		t.MarkAllDirty()
+	}
+	return t, nil
+}
 
 // TableSectors reports the reserved-area prefix (in sectors) occupied by
 // the on-disk block table. Placement policies must not allocate reserved
@@ -294,6 +373,15 @@ type Counters struct {
 	// movement reads/writes and block table writes — the cumulative
 	// I/O cost of rearrangement.
 	InternalIO int64
+	// Faults counts device errors reported by the fault injector;
+	// Retries counts re-issues of transiently failing operations;
+	// Remaps counts bad blocks remapped into spare reserved slots;
+	// Unrecovered counts operations that failed after exhausting
+	// retries and remapping.
+	Faults      int64
+	Retries     int64
+	Remaps      int64
+	Unrecovered int64
 }
 
 // Counters returns the driver's lifetime counters.
@@ -433,9 +521,65 @@ func (d *Driver) recordArrival(origSector int64, write bool) {
 	d.haveFCFSPrev = true
 }
 
+// Dead reports whether the device has suffered a simulated power loss.
+// A dead driver fails every request; re-attaching a fresh Driver to the
+// disk models the reboot.
+func (d *Driver) Dead() bool { return d.dead }
+
+// Remap records one bad-block remapping: requests addressed to the
+// block at Orig are serviced by the spare reserved slot at Spare.
+type Remap struct {
+	Orig, Spare int64
+}
+
+// RemapTable returns the bad-block remap table sorted by original
+// address — the analogue of an ioctl exposing the remap state to
+// diagnostic tools.
+func (d *Driver) RemapTable() []Remap {
+	out := make([]Remap, 0, len(d.remaps))
+	for o, s := range d.remaps {
+		out = append(out, Remap{Orig: o, Spare: s})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Orig < out[j].Orig })
+	return out
+}
+
+// applyRemap retargets a request whose physical destination block has
+// been remapped to a spare. Remaps are block-granular, so only requests
+// contained in a single block can follow one; the multi-block table
+// write never does (the table's home is fixed).
+func (d *Driver) applyRemap(r *ioreq) {
+	if len(d.remaps) == 0 {
+		return
+	}
+	bsec := int64(d.cfg.BlockSize.Sectors())
+	blockStart := r.sector - r.sector%bsec
+	if r.sector+int64(r.count) > blockStart+bsec {
+		return
+	}
+	moved := false
+	for {
+		spare, ok := d.remaps[blockStart]
+		if !ok {
+			break
+		}
+		r.sector = spare + (r.sector - blockStart)
+		blockStart = spare
+		moved = true
+	}
+	if moved {
+		r.cyl = d.dsk.Geom().CylinderOf(r.sector)
+	}
+}
+
 // enqueue adds a request to the device queue and starts the device if it
 // is idle, mirroring the strategy/start split of the SunOS driver.
 func (d *Driver) enqueue(r *ioreq) {
+	if d.dead {
+		d.fail(r.done, ErrDead)
+		return
+	}
+	d.applyRemap(r)
 	r.qdepth = d.Outstanding()
 	d.queue = append(d.queue, r)
 	if !d.busy {
@@ -443,10 +587,9 @@ func (d *Driver) enqueue(r *ioreq) {
 	}
 }
 
-// start dispatches the next request chosen by the scheduling policy and
-// schedules its completion interrupt.
+// start dispatches the next request chosen by the scheduling policy.
 func (d *Driver) start() {
-	if len(d.queue) == 0 {
+	if len(d.queue) == 0 || d.dead {
 		d.busy = false
 		return
 	}
@@ -458,18 +601,42 @@ func (d *Driver) start() {
 	idx := d.cfg.Sched.Pick(d.dsk.HeadCylinder(), cands)
 	r := d.queue[idx]
 	d.queue = append(d.queue[:idx], d.queue[idx+1:]...)
+	r.dispatchMS = d.eng.Now()
+	d.issue(r)
+}
 
-	startMS := d.eng.Now()
+// issue performs one service attempt of a dispatched request and
+// schedules its completion interrupt. Retries re-enter here with the
+// device still busy, so a request being retried blocks the queue just
+// as a device held by its own error recovery would; its service time
+// accumulates the backoff delays.
+func (d *Driver) issue(r *ioreq) {
+	d.inj.SetPhase(r.phase)
+	now := d.eng.Now()
 	var t disk.Timing
 	var rdata []byte
 	var err error
 	if r.write {
-		t, err = d.dsk.Write(startMS, r.sector, r.count, r.data)
+		t, err = d.dsk.Write(now, r.sector, r.count, r.data)
 	} else {
-		rdata, t, err = d.dsk.Read(startMS, r.sector, r.count)
+		rdata, t, err = d.dsk.Read(now, r.sector, r.count)
 	}
 	if err != nil {
-		// Address errors surface immediately; the device stays usable.
+		d.handleError(r, err)
+		return
+	}
+	d.eng.After(t.TotalMS(), func() { d.interrupt(r, rdata, t, r.dispatchMS) })
+}
+
+// handleError classifies a device error and drives recovery: transient
+// errors are retried with exponential backoff, permanent media errors
+// on writes are remapped to a spare reserved slot, and a simulated
+// power loss kills the device, failing everything in flight and queued.
+// Errors that are not injected faults (address validation) fail the
+// request immediately and leave the device usable.
+func (d *Driver) handleError(r *ioreq, err error) {
+	var fe *fault.Error
+	if !errors.As(err, &fe) {
 		d.eng.After(0, func() {
 			if r.done != nil {
 				r.done(nil, err)
@@ -478,7 +645,121 @@ func (d *Driver) start() {
 		})
 		return
 	}
-	d.eng.After(t.TotalMS(), func() { d.interrupt(r, rdata, t, startMS) })
+	d.cum.Faults++
+	switch fe.Class {
+	case fault.Crash:
+		d.dead = true
+		d.emitFault(r, fe, "crash")
+		failed := append([]*ioreq{r}, d.queue...)
+		d.queue = nil
+		d.busy = false
+		d.eng.After(0, func() {
+			for _, q := range failed {
+				if q.done != nil {
+					q.done(nil, err)
+				}
+			}
+		})
+	case fault.Transient:
+		if r.attempt < d.cfg.MaxRetries {
+			r.attempt++
+			d.cum.Retries++
+			d.emitFault(r, fe, "retry")
+			backoff := d.cfg.RetryBaseMS * float64(int64(1)<<(r.attempt-1))
+			d.eng.After(backoff, func() { d.issue(r) })
+			return
+		}
+		d.unrecoverable(r, fe, err)
+	default: // fault.Media
+		if d.tryRemap(r, fe) {
+			return
+		}
+		d.unrecoverable(r, fe, err)
+	}
+}
+
+// tryRemap moves a write that hit a permanent media error to a freshly
+// allocated spare block in the reserved region and re-issues it there.
+// Reads cannot be remapped (the data is gone), nor can operations that
+// span more than one block.
+func (d *Driver) tryRemap(r *ioreq, fe *fault.Error) bool {
+	if !r.write || d.bt == nil {
+		return false
+	}
+	bsec := int64(d.cfg.BlockSize.Sectors())
+	blockStart := r.sector - r.sector%bsec
+	if r.sector+int64(r.count) > blockStart+bsec {
+		return false
+	}
+	spare := d.allocSpare()
+	if spare < 0 {
+		return false
+	}
+	d.remaps[blockStart] = spare
+	d.spares[spare] = true
+	d.cum.Remaps++
+	d.emitFault(r, fe, "remap")
+	r.sector = spare + (r.sector - blockStart)
+	r.cyl = d.dsk.Geom().CylinderOf(r.sector)
+	d.issue(r)
+	return true
+}
+
+// allocSpare returns the next unused block-aligned spare slot,
+// allocated downward from the top of the reserved region so spares stay
+// clear of the organ-pipe slots the arranger fills from the middle out.
+// It returns -1 when the region is exhausted.
+func (d *Driver) allocSpare() int64 {
+	bsec := int64(d.cfg.BlockSize.Sectors())
+	tableEnd := d.tableAt + int64(tableSectors(d.cfg.BlockSize))
+	if d.spareCursor == 0 {
+		resEnd := d.lbl.ReservedStart + d.lbl.ReservedLen
+		d.spareCursor = (resEnd - bsec) / bsec * bsec
+	}
+	for s := d.spareCursor; s >= tableEnd; s -= bsec {
+		d.spareCursor = s - bsec
+		if d.spares[s] {
+			continue
+		}
+		if _, ok := d.bt.ReverseLookup(s); ok {
+			continue
+		}
+		if _, ok := d.remaps[s]; ok {
+			continue
+		}
+		return s
+	}
+	return -1
+}
+
+// unrecoverable propagates a fault that recovery could not mask.
+func (d *Driver) unrecoverable(r *ioreq, fe *fault.Error, err error) {
+	d.cum.Unrecovered++
+	d.emitFault(r, fe, "fail")
+	d.eng.After(0, func() {
+		if r.done != nil {
+			r.done(nil, err)
+		}
+		d.start()
+	})
+}
+
+// emitFault reports one fault-handling action to the telemetry sink.
+func (d *Driver) emitFault(r *ioreq, fe *fault.Error, action string) {
+	if d.sink == nil {
+		return
+	}
+	d.ev = telemetry.Event{
+		Kind:    telemetry.KindFault,
+		TimeMS:  d.eng.Now(),
+		Write:   r.write,
+		Sector:  r.sector,
+		Count:   r.count,
+		Class:   fe.Class.String(),
+		Action:  action,
+		Attempt: r.attempt,
+	}
+	d.sink.Event(&d.ev)
 }
 
 // interrupt is the completion handler: it records statistics, completes

@@ -48,7 +48,7 @@ func (d *Driver) BCopy(orig, dst int64, done ErrFunc) {
 		}
 	}
 	// 1: read the block from its original location.
-	d.enqueue(&ioreq{internal: true, orig: orig, sector: orig, count: bsec, arriveMS: d.eng.Now(),
+	d.enqueue(&ioreq{internal: true, phase: "bcopy-read", orig: orig, sector: orig, count: bsec, arriveMS: d.eng.Now(),
 		cyl: d.dsk.Geom().CylinderOf(orig),
 		done: func(data []byte, err error) {
 			if err != nil {
@@ -56,7 +56,7 @@ func (d *Driver) BCopy(orig, dst int64, done ErrFunc) {
 				return
 			}
 			// 2: write it to the reserved slot.
-			d.enqueue(&ioreq{internal: true, write: true, orig: orig, sector: dst, count: bsec, data: data,
+			d.enqueue(&ioreq{internal: true, write: true, phase: "bcopy-copy", orig: orig, sector: dst, count: bsec, data: data,
 				arriveMS: d.eng.Now(), cyl: d.dsk.Geom().CylinderOf(dst),
 				done: func(_ []byte, err error) {
 					if err != nil {
@@ -99,6 +99,9 @@ func (d *Driver) checkMove(orig, dst int64) error {
 	}
 	if _, ok := d.bt.ReverseLookup(dst); ok {
 		return fmt.Errorf("driver bcopy: reserved slot %d is occupied", dst)
+	}
+	if d.spares[dst] {
+		return fmt.Errorf("driver bcopy: reserved slot %d is in use as a bad-block spare", dst)
 	}
 	if d.bt.Len() >= maxTableEntries {
 		return fmt.Errorf("driver bcopy: block table full (%d entries)", maxTableEntries)
@@ -173,14 +176,14 @@ func (d *Driver) cleanNext(entries []blocktable.Entry, i int, done ErrFunc) {
 		return
 	}
 	// Copy the reserved copy back to the original location first.
-	d.enqueue(&ioreq{internal: true, orig: e.Orig, sector: e.New, count: bsec, arriveMS: d.eng.Now(),
+	d.enqueue(&ioreq{internal: true, phase: "clean-read", orig: e.Orig, sector: e.New, count: bsec, arriveMS: d.eng.Now(),
 		cyl: d.dsk.Geom().CylinderOf(e.New),
 		done: func(data []byte, err error) {
 			if err != nil {
 				step(fmt.Errorf("driver clean: reading reserved copy: %w", err))
 				return
 			}
-			d.enqueue(&ioreq{internal: true, write: true, orig: e.Orig, sector: e.Orig, count: bsec, data: data,
+			d.enqueue(&ioreq{internal: true, write: true, phase: "clean-write", orig: e.Orig, sector: e.Orig, count: bsec, data: data,
 				arriveMS: d.eng.Now(), cyl: d.dsk.Geom().CylinderOf(e.Orig),
 				done: func(_ []byte, err error) {
 					if err != nil {
@@ -193,15 +196,25 @@ func (d *Driver) cleanNext(entries []blocktable.Entry, i int, done ErrFunc) {
 }
 
 // writeTable forces the current block table image to its home at the
-// start of the reserved region.
+// start of the reserved region. In fault-tolerant mode the write is
+// crash-safe: the generation stamp is bumped and the image goes to the
+// slot the previous committed write did not use, so a power loss can
+// tear at most the slot being written while the other slot still
+// decodes to the previous generation.
 func (d *Driver) writeTable(done ErrFunc) {
-	img := d.bt.Encode()
-	// Pad to the fixed table allocation so stale tails are overwritten.
-	full := make([]byte, tableSectors(d.cfg.BlockSize)*geom.SectorSize)
-	copy(full, img)
-	d.enqueue(&ioreq{internal: true, write: true, orig: d.tableAt, sector: d.tableAt,
+	at := d.tableAt
+	sectors := tableSectors(d.cfg.BlockSize)
+	if d.inj != nil {
+		d.bt.Gen++
+		sectors = slotSectors(d.cfg.BlockSize)
+		at += int64(d.bt.Gen%2) * int64(sectors)
+	}
+	// Pad to the slot size so stale tails are overwritten.
+	full := make([]byte, sectors*geom.SectorSize)
+	copy(full, d.bt.Encode())
+	d.enqueue(&ioreq{internal: true, write: true, phase: "table-write", orig: at, sector: at,
 		count: len(full) / geom.SectorSize, data: full,
-		arriveMS: d.eng.Now(), cyl: d.dsk.Geom().CylinderOf(d.tableAt),
+		arriveMS: d.eng.Now(), cyl: d.dsk.Geom().CylinderOf(at),
 		done: func(_ []byte, err error) {
 			if done != nil {
 				done(err)
@@ -231,7 +244,7 @@ func (d *Driver) ReservedSlots() [][]int64 {
 		hi := lo + int64(g.SectorsPerCyl())
 		var slots []int64
 		for s := (lo + bsec - 1) / bsec * bsec; s+bsec <= hi; s += bsec {
-			if s < usable {
+			if s < usable || d.spares[s] {
 				continue
 			}
 			slots = append(slots, s)

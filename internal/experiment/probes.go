@@ -44,6 +44,21 @@ func registerCacheProbes(col *telemetry.Collector, prefix string, c *cache.Cache
 	})
 }
 
+// registerFaultProbes registers fault-tolerance counters as sampler
+// columns: injected faults, transient retries, bad-block remaps, and
+// unrecovered failures. It is a no-op on a rig without a fault injector,
+// so fault-free runs keep their exact column set (and golden output).
+func registerFaultProbes(col *telemetry.Collector, r *rig.Rig) {
+	if r.Faults == nil {
+		return
+	}
+	drv := r.Driver
+	col.AddProbe("faults", func() float64 { return float64(drv.Counters().Faults) })
+	col.AddProbe("retries", func() float64 { return float64(drv.Counters().Retries) })
+	col.AddProbe("remaps", func() float64 { return float64(drv.Counters().Remaps) })
+	col.AddProbe("unrecovered", func() float64 { return float64(drv.Counters().Unrecovered) })
+}
+
 // registerRearrangerProbes registers hot-list probes: how many blocks
 // the analyzer tracks and how much the hot set churned since the last
 // sample — the paper's Figure 5 convergence signal at sampler

@@ -145,6 +145,7 @@ func init() {
 	registerTables()
 	registerFigures()
 	registerShared()
+	registerFaults()
 	registerGroups()
 }
 

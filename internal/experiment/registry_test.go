@@ -15,7 +15,8 @@ func TestRegistryHasAllIDs(t *testing.T) {
 		"table1", "table2", "table3", "table4", "table5",
 		"table6", "table7", "table8", "table9", "table10",
 		"fig4", "fig5", "fig6", "fig7", "fig8",
-		"shared", "onoff-system", "onoff-users", "policies", "sweep", "all",
+		"shared", "faults", "crash",
+		"onoff-system", "onoff-users", "policies", "sweep", "all",
 	}
 	ids := IDs()
 	have := make(map[string]bool, len(ids))

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/driver"
+	"repro/internal/fault"
 	"repro/internal/fs"
 	"repro/internal/hotlist"
 	"repro/internal/rig"
@@ -90,6 +91,11 @@ type Setup struct {
 	// ReservedFirstCyl places the reserved region at this first cylinder
 	// instead of the disk's center (the reserved-location ablation).
 	ReservedFirstCyl int
+	// Fault, when non-nil and active, injects device faults per the plan:
+	// the rig wires a deterministic injector into the disk and driver, so
+	// the run exercises retries, bad-block remapping, and crash-safe
+	// table writes. nil (the default) is the zero-overhead path.
+	Fault *fault.Plan
 }
 
 func (s Setup) withDefaults() (Setup, error) {
@@ -187,6 +193,10 @@ type Run struct {
 	WorkloadErrors int64
 	// Installed records how many blocks each rearrangement installed.
 	Installed []int
+	// Counters is the driver's lifetime counter snapshot at the end of
+	// the run; its fault fields (Faults, Retries, Remaps, Unrecovered)
+	// are nonzero only under an active fault plan.
+	Counters driver.Counters
 }
 
 // OnDays returns the measured on-days.
@@ -245,6 +255,7 @@ func Execute(ctx context.Context, s Setup) (*Run, error) {
 		ReservedFirstCyl: s.ReservedFirstCyl,
 		Sched:            schedPolicy,
 		Telemetry:        col,
+		Fault:            s.Fault,
 	})
 	if err != nil {
 		return nil, err
@@ -337,6 +348,7 @@ func Execute(ctx context.Context, s Setup) (*Run, error) {
 		registerCacheProbes(col, "cache", fsys.Cache())
 		registerCacheProbes(col, "meta", fsys.MetaCache())
 		registerRearrangerProbes(col, rear)
+		registerFaultProbes(col, r)
 		col.StartSampler(r.Eng)
 	}
 
@@ -398,6 +410,7 @@ func Execute(ctx context.Context, s Setup) (*Run, error) {
 		rear.ResetCounts()
 	}
 	run.WorkloadErrors = errorsOf()
+	run.Counters = r.Driver.Counters()
 	if col != nil {
 		col.SetEngineEvents(r.Eng.Dispatched())
 	}

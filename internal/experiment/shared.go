@@ -55,6 +55,7 @@ func RunShared(ctx context.Context, o Options) (*SharedResult, error) {
 		ReservedCyls:    48,
 		PartitionBlocks: []int64{sysBlocks, usrBlocks},
 		Telemetry:       col,
+		Fault:           o.Fault,
 	})
 	if err != nil {
 		return nil, err
@@ -96,6 +97,7 @@ func RunShared(ctx context.Context, o Options) (*SharedResult, error) {
 		registerCacheProbes(col, "sys_cache", sysFS.Cache())
 		registerCacheProbes(col, "usr_cache", usrFS.Cache())
 		registerRearrangerProbes(col, rear)
+		registerFaultProbes(col, r)
 		col.StartSampler(r.Eng)
 	}
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/disk"
+	"repro/internal/fault"
 	"repro/internal/runner"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
@@ -30,6 +31,11 @@ type Options struct {
 	// order, so concatenated output is byte-identical for any Jobs
 	// value. nil (the default) is the zero-cost path.
 	Telemetry *telemetry.Options
+	// Fault, when non-nil and active, injects device faults per the
+	// plan into every simulation unit (abrsim -fault-plan). The fault
+	// experiments ("faults", "crash") ignore it: they define their own
+	// plans. nil (the default) changes nothing.
+	Fault *fault.Plan
 }
 
 func (o Options) days(def int) int {

@@ -28,6 +28,12 @@ const (
 	NeedSweep
 	// NeedShared is the shared-disk extension (one combined run).
 	NeedShared
+	// NeedFaults is the fault-injection sweep: one run per transient
+	// fault rate, measuring response-time degradation.
+	NeedFaults
+	// NeedCrash is the crash-recovery scenario battery on the
+	// crashcheck harness.
+	NeedCrash
 	needCount
 )
 
@@ -44,6 +50,10 @@ func (n Need) String() string {
 		return "sweep"
 	case NeedShared:
 		return "shared"
+	case NeedFaults:
+		return "faults"
+	case NeedCrash:
+		return "crash"
 	}
 	return fmt.Sprintf("need(%d)", int(n))
 }
@@ -57,6 +67,8 @@ type ResultSet struct {
 	Policies *Policies
 	Sweep    []SweepPoint
 	Shared   *SharedResult
+	Faults   []FaultPoint
+	Crash    []CrashPoint
 
 	// Collectors holds each simulation job's telemetry collector in
 	// job order when Options.Telemetry was set; nil otherwise.
@@ -91,6 +103,7 @@ func onOffUnits(fsname string, o Options) []unit {
 		s := Setup{
 			DiskName: diskName, FSName: fsname,
 			Days: o.days(days), WindowMS: o.WindowMS, Seed: o.Seed,
+			Fault: o.Fault,
 		}
 		return unit{
 			job: runner.Job{
@@ -135,6 +148,7 @@ func policiesUnits(o Options) []unit {
 				Days:      o.days(4),
 				OnPattern: func(day int) bool { return day > 0 },
 				WindowMS:  o.WindowMS, Seed: o.Seed,
+				Fault: o.Fault,
 			}
 			units = append(units, unit{
 				job: runner.Job{
@@ -179,6 +193,7 @@ func sweepUnits(o Options, counts []int) []unit {
 			Days:      o.days(2),
 			OnPattern: func(day int) bool { return day > 0 },
 			WindowMS:  o.WindowMS, Seed: o.Seed,
+			Fault: o.Fault,
 		}
 		units = append(units, unit{
 			job: runner.Job{
@@ -235,6 +250,10 @@ func needUnits(n Need, o Options) []unit {
 		return sweepUnits(o, nil)
 	case NeedShared:
 		return []unit{sharedUnit(o)}
+	case NeedFaults:
+		return faultUnits(o)
+	case NeedCrash:
+		return crashUnits()
 	}
 	panic(fmt.Sprintf("experiment: unknown need %d", int(n)))
 }

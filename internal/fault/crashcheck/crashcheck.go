@@ -1,0 +1,165 @@
+// Package crashcheck is the crash-consistency harness: it drives a
+// scripted rearrangement workload into a simulated power loss, reboots
+// the stack the way a kernel would (re-attach with recovery), and
+// verifies the paper's crash invariants (Section 4.1.2):
+//
+//   - the on-disk block table still decodes, and recovery marks every
+//     entry dirty;
+//   - no block is lost or aliased: each table entry maps a distinct
+//     original block to a distinct reserved slot inside the reserved
+//     region;
+//   - every logical block remains readable, and every write the driver
+//     acknowledged before the crash reads back exactly.
+//
+// The one write that may have been in flight at the instant of the
+// crash is exempt from the content check (the disk legitimately holds a
+// torn image of it) but must still be readable.
+package crashcheck
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/driver"
+	"repro/internal/fault"
+	"repro/internal/geom"
+	"repro/internal/rig"
+	"repro/internal/sim"
+)
+
+// Result summarizes one crash-recovery check.
+type Result struct {
+	// Ops is the number of device operations before the power loss.
+	Ops int64
+	// AckedWrites is how many block writes the driver acknowledged as
+	// durable before the crash.
+	AckedWrites int
+	// Entries is the size of the recovered block table.
+	Entries int
+	// Moves is how many BCopy calls completed before the crash.
+	Moves int
+}
+
+// workBlocks is the pool of partition blocks the scripted workload
+// cycles through; spread out so moves change seek behaviour.
+var workBlocks = []int64{0, 40, 80, 120, 160, 200, 240, 280, 320, 360}
+
+// content is the deterministic block image for write version v of blk.
+func content(blk int64, v int) []byte {
+	b := make([]byte, geom.Block8K.Bytes())
+	for i := range b {
+		b[i] = byte(int64(i)+blk*7) ^ byte(v*13+1)
+	}
+	return b
+}
+
+// Check drives the scripted workload under plan until the planned crash
+// fires, reboots, and verifies the crash invariants. The plan must
+// contain a crash point (CrashAfterOps or CrashPhase); Check fails if
+// the workload completes without crashing.
+func Check(plan fault.Plan) (*Result, error) {
+	r, err := rig.New(rig.Options{ReservedCyls: 48, Fault: &plan})
+	if err != nil {
+		return nil, err
+	}
+	if r.Faults == nil {
+		return nil, fmt.Errorf("crashcheck: plan %q is inactive", plan.String())
+	}
+
+	// Scripted workload: seed every block with version 0, then rounds
+	// of (rearrange one block, rewrite two blocks — one of them
+	// rearranged, so table entries go dirty) until the crash fires.
+	// acked tracks the last version whose write completed without
+	// error; inflight the one write outstanding at any instant.
+	acked := make(map[int64][]byte)
+	version := make(map[int64]int)
+	slots := r.Driver.ReservedSlots()
+	var flat []int64
+	for _, cyl := range slots {
+		flat = append(flat, cyl...)
+	}
+
+	write := func(blk int64, v int) {
+		data := content(blk, v)
+		r.Driver.WriteBlock(0, blk, data, func(_ []byte, err error) {
+			if err == nil {
+				acked[blk] = data
+			}
+		})
+		version[blk] = v
+	}
+	moves := 0
+	for _, blk := range workBlocks {
+		write(blk, 0)
+	}
+	r.Eng.Run()
+
+	p, _ := r.Label.Partition(0)
+	for round := 0; !r.Faults.Crashed() && round < 64; round++ {
+		if round < len(workBlocks) && round < len(flat) {
+			blk := workBlocks[round]
+			orig := r.Label.MapVirtual(p.Start + blk*16)
+			r.Driver.BCopy(orig, flat[round], func(err error) {
+				if err == nil {
+					moves++
+				}
+			})
+		}
+		blk := workBlocks[round%len(workBlocks)]
+		write(blk, version[blk]+1)
+		blk2 := workBlocks[(round+3)%len(workBlocks)]
+		write(blk2, version[blk2]+1)
+		r.Eng.Run()
+	}
+	if !r.Faults.Crashed() {
+		return nil, fmt.Errorf("crashcheck: workload completed without crashing (plan %q)", plan.String())
+	}
+	res := &Result{Ops: r.Faults.Ops(), AckedWrites: len(acked), Moves: moves}
+
+	// Reboot: power is back, the fault plan is gone, and the driver
+	// re-attaches with the conservative recovery path.
+	r.Disk.SetFaults(nil)
+	eng2 := sim.NewEngine()
+	drv, err := driver.Attach(eng2, r.Disk, driver.Config{}, true)
+	if err != nil {
+		return nil, fmt.Errorf("crashcheck: recovery attach: %w", err)
+	}
+
+	// Invariant 1: recovered entries are all dirty, unaliased, and
+	// point into the usable reserved region. (Decoding itself rejects
+	// duplicate originals and slots.)
+	entries := drv.BlockTable()
+	res.Entries = len(entries)
+	tableEnd := r.Label.ReservedStart + int64(driver.TableSectors(geom.Block8K))
+	for _, e := range entries {
+		if !e.Dirty {
+			return nil, fmt.Errorf("crashcheck: recovered entry %d -> %d is not dirty", e.Orig, e.New)
+		}
+		if !r.Label.InReserved(e.New) || e.New < tableEnd {
+			return nil, fmt.Errorf("crashcheck: recovered entry %d -> %d points outside the usable reserved region", e.Orig, e.New)
+		}
+		if r.Label.InReserved(e.Orig) {
+			return nil, fmt.Errorf("crashcheck: recovered entry original %d lies in the reserved region", e.Orig)
+		}
+	}
+
+	// Invariants 2 and 3: every workload block is readable, and a block
+	// whose latest write was acknowledged reads back exactly that
+	// content. A block whose latest write was still in flight at the
+	// crash may hold a torn image (that is what a real power loss does
+	// to an unacknowledged write), but it must still be readable.
+	for _, blk := range workBlocks {
+		var got []byte
+		var rerr error
+		drv.ReadBlock(0, blk, func(data []byte, err error) { got, rerr = data, err })
+		eng2.Run()
+		if rerr != nil {
+			return nil, fmt.Errorf("crashcheck: block %d unreadable after recovery: %w", blk, rerr)
+		}
+		want := content(blk, version[blk])
+		if bytes.Equal(acked[blk], want) && !bytes.Equal(got, want) {
+			return nil, fmt.Errorf("crashcheck: block %d lost its acknowledged write", blk)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,68 @@
+package crashcheck
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+)
+
+func TestCrashMidBlockCopy(t *testing.T) {
+	// Power dies during the third BCopy's write of the reserved copy:
+	// the copy is torn, but the table write never happened, so recovery
+	// must see exactly the two committed moves.
+	res, err := Check(fault.Plan{Seed: 11, CrashPhase: "bcopy-copy", CrashPhaseSkip: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Entries != 2 || res.Moves != 2 {
+		t.Errorf("recovered %d entries after %d committed moves, want 2/2", res.Entries, res.Moves)
+	}
+}
+
+func TestCrashMidTableWrite(t *testing.T) {
+	// Power dies during the third table write. Depending on where the
+	// tear lands, either the new image made it out intact (recovery
+	// sees 3 entries via the freshly written slot) or the slot is torn
+	// and the other slot's previous generation wins (2 entries). Both
+	// are consistent; anything else is a bug. Sweep seeds to exercise
+	// both outcomes and require that at least one seed produces a
+	// genuinely torn slot.
+	// Seed 350 is a searched-for seed whose tear lands inside the
+	// encoded table bytes, forcing the fall back to the older slot.
+	sawTorn := false
+	for _, seed := range []uint64{1, 2, 3, 4, 350, 1287} {
+		res, err := Check(fault.Plan{Seed: seed, CrashPhase: "table-write", CrashPhaseSkip: 2})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Moves != 2 || res.Entries < 2 || res.Entries > 3 {
+			t.Errorf("seed %d: recovered %d entries after %d committed moves", seed, res.Entries, res.Moves)
+		}
+		if res.Entries == 2 {
+			sawTorn = true
+		}
+	}
+	if !sawTorn {
+		t.Error("no seed tore the table write; the dual-slot fallback went unexercised")
+	}
+}
+
+func TestCrashAfterOpsSweep(t *testing.T) {
+	// Crash at arbitrary operation counts; the invariants must hold at
+	// every point, wherever the guillotine lands.
+	for _, n := range []int64{11, 14, 17, 23, 31, 47, 63} {
+		res, err := Check(fault.Plan{Seed: uint64(n), CrashAfterOps: n})
+		if err != nil {
+			t.Fatalf("crash-after=%d: %v", n, err)
+		}
+		if res.Ops < n {
+			t.Errorf("crash-after=%d: only %d ops recorded", n, res.Ops)
+		}
+	}
+}
+
+func TestRequiresCrashPoint(t *testing.T) {
+	if _, err := Check(fault.Plan{Seed: 1, TransientRead: 0.01}); err == nil {
+		t.Error("plan without a crash point accepted")
+	}
+}

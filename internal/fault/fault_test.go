@@ -1,0 +1,209 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestZeroPlanInjectsNothing(t *testing.T) {
+	in := NewInjector(Plan{})
+	for i := 0; i < 10_000; i++ {
+		if e := in.BeginOp(i%2 == 0, int64(i*7), 16); e != nil {
+			t.Fatalf("op %d: unexpected fault %v", i, e)
+		}
+	}
+	if in.Ops() != 10_000 {
+		t.Errorf("Ops = %d", in.Ops())
+	}
+	if in.Crashed() {
+		t.Error("zero plan crashed")
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if e := in.BeginOp(true, 0, 1); e != nil {
+		t.Errorf("nil injector injected %v", e)
+	}
+	in.SetPhase("x")
+	if in.Crashed() || in.Ops() != 0 || in.TornBytes(512) != 0 {
+		t.Error("nil injector not inert")
+	}
+}
+
+func TestBadRangesArePermanent(t *testing.T) {
+	in := NewInjector(Plan{Bad: []SectorRange{{Start: 100, End: 116}}})
+	for i := 0; i < 3; i++ {
+		e := in.BeginOp(false, 96, 16) // [96,112) overlaps [100,116)
+		if e == nil || e.Class != Media {
+			t.Fatalf("attempt %d: %v", i, e)
+		}
+	}
+	if e := in.BeginOp(false, 116, 16); e != nil {
+		t.Errorf("adjacent range faulted: %v", e)
+	}
+	if e := in.BeginOp(true, 84, 16); e != nil {
+		t.Errorf("[84,100) touches nothing: %v", e)
+	}
+}
+
+func TestTransientRateAndDeterminism(t *testing.T) {
+	run := func() (faults int, seq []int64) {
+		in := NewInjector(Plan{Seed: 7, TransientRead: 0.05})
+		for i := 0; i < 20_000; i++ {
+			if e := in.BeginOp(false, int64(i), 1); e != nil {
+				if e.Class != Transient {
+					t.Fatalf("op %d: class %v", i, e.Class)
+				}
+				faults++
+				seq = append(seq, e.Op)
+			}
+		}
+		return
+	}
+	n1, s1 := run()
+	n2, s2 := run()
+	if n1 != n2 {
+		t.Fatalf("two identical runs injected %d vs %d faults", n1, n2)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("fault sequences diverge at %d", i)
+		}
+	}
+	// Rate should be near 5%.
+	if n1 < 700 || n1 > 1300 {
+		t.Errorf("%d transient faults in 20000 ops at p=0.05", n1)
+	}
+	// Writes use the write probability (0 here).
+	in := NewInjector(Plan{Seed: 7, TransientRead: 0.05})
+	for i := 0; i < 5000; i++ {
+		if e := in.BeginOp(true, int64(i), 1); e != nil {
+			t.Fatalf("write faulted with TransientWrite=0: %v", e)
+		}
+	}
+}
+
+func TestSeedChangesFaultSequence(t *testing.T) {
+	ops := func(seed uint64) []int64 {
+		in := NewInjector(Plan{Seed: seed, TransientRead: 0.05})
+		var out []int64
+		for i := 0; i < 5000; i++ {
+			if e := in.BeginOp(false, int64(i), 1); e != nil {
+				out = append(out, e.Op)
+			}
+		}
+		return out
+	}
+	a, b := ops(1), ops(2)
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fault sequences")
+	}
+}
+
+func TestCrashAfterOps(t *testing.T) {
+	in := NewInjector(Plan{CrashAfterOps: 5})
+	for i := 1; i <= 4; i++ {
+		if e := in.BeginOp(true, 0, 1); e != nil {
+			t.Fatalf("op %d faulted early: %v", i, e)
+		}
+	}
+	e := in.BeginOp(true, 0, 1)
+	if e == nil || e.Class != Crash {
+		t.Fatalf("op 5: %v", e)
+	}
+	if !errors.Is(e, ErrCrash) {
+		t.Error("crash error does not unwrap to ErrCrash")
+	}
+	if !in.Crashed() {
+		t.Error("injector not crashed")
+	}
+	// Everything after the crash fails too.
+	if e := in.BeginOp(false, 0, 1); e == nil || e.Class != Crash {
+		t.Errorf("post-crash op: %v", e)
+	}
+}
+
+func TestCrashAtPhaseWithSkip(t *testing.T) {
+	in := NewInjector(Plan{CrashPhase: "table-write", CrashPhaseSkip: 2})
+	// Non-matching phases never crash.
+	in.SetPhase("bcopy-copy")
+	if e := in.BeginOp(true, 0, 1); e != nil {
+		t.Fatalf("wrong phase crashed: %v", e)
+	}
+	in.SetPhase("table-write")
+	for i := 0; i < 2; i++ {
+		if e := in.BeginOp(true, 0, 1); e != nil {
+			t.Fatalf("skipped occurrence %d crashed: %v", i, e)
+		}
+	}
+	if e := in.BeginOp(true, 0, 1); e == nil || e.Class != Crash {
+		t.Fatalf("third table write: %v", e)
+	}
+}
+
+func TestTornBytesDeterministicAndBounded(t *testing.T) {
+	in := NewInjector(Plan{Seed: 3, CrashAfterOps: 1})
+	in.BeginOp(true, 0, 16)
+	a := in.TornBytes(16 * 512)
+	b := in.TornBytes(16 * 512)
+	if a != b {
+		t.Errorf("TornBytes not deterministic: %d vs %d", a, b)
+	}
+	if a < 0 || a >= 16*512 {
+		t.Errorf("TornBytes %d outside [0, %d)", a, 16*512)
+	}
+}
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	p, err := ParsePlan("seed=42;bad=100-200;bad=500-516;tread=0.01;twrite=0.02;crash-after=9;crash-at=table-write:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 || len(p.Bad) != 2 || p.Bad[0] != (SectorRange{100, 200}) ||
+		p.TransientRead != 0.01 || p.TransientWrite != 0.02 ||
+		p.CrashAfterOps != 9 || p.CrashPhase != "table-write" || p.CrashPhaseSkip != 1 {
+		t.Errorf("parsed %+v", p)
+	}
+	back, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", p.String(), err)
+	}
+	if back.String() != p.String() {
+		t.Errorf("round trip %q -> %q", p.String(), back.String())
+	}
+}
+
+func TestParsePlanTransientShorthandAndEmpty(t *testing.T) {
+	p, err := ParsePlan("transient=0.1")
+	if err != nil || p.TransientRead != 0.1 || p.TransientWrite != 0.1 {
+		t.Errorf("transient shorthand: %+v, %v", p, err)
+	}
+	if p, err := ParsePlan(""); err != nil || p.Active() {
+		t.Errorf("empty spec: %+v, %v", p, err)
+	}
+	if (Plan{}).String() != "none" {
+		t.Errorf("zero plan renders %q", Plan{}.String())
+	}
+}
+
+func TestParsePlanRejectsMalformed(t *testing.T) {
+	for _, spec := range []string{
+		"nope", "bad=5", "bad=9-3", "tread=2", "tread=x",
+		"crash-after=0", "crash-after=x", "crash-at=", "crash-at=p:-1",
+		"frob=1", "seed=abc",
+	} {
+		if _, err := ParsePlan(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/disk"
 	"repro/internal/driver"
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/label"
 	"repro/internal/sched"
@@ -49,6 +50,10 @@ type Options struct {
 	// recorded. Callers needing extra consumers compose their own sink
 	// with telemetry.Multi and SetSink afterwards.
 	Telemetry *telemetry.Collector
+	// Fault, when non-nil and active, builds a fault injector from the
+	// plan and wires it into both the disk and the driver, enabling
+	// retries, bad-block remapping, and crash-safe table writes.
+	Fault *fault.Plan
 }
 
 // Rig is an assembled simulation stack.
@@ -57,6 +62,9 @@ type Rig struct {
 	Disk   *disk.Disk
 	Label  *label.Label
 	Driver *driver.Driver
+	// Faults is the fault injector wired into the stack, nil unless
+	// Options.Fault was set.
+	Faults *fault.Injector
 	ctx    context.Context
 }
 
@@ -136,10 +144,16 @@ func New(opts Options) (*Rig, error) {
 	if err := driver.InitDisk(dsk, lbl, opts.BlockSize); err != nil {
 		return nil, err
 	}
+	var inj *fault.Injector
+	if opts.Fault != nil && opts.Fault.Active() {
+		inj = fault.NewInjector(*opts.Fault)
+		dsk.SetFaults(inj)
+	}
 	drv, err := driver.Attach(eng, dsk, driver.Config{
 		Sched:            opts.Sched,
 		BlockSize:        opts.BlockSize,
 		RequestTableSize: opts.RequestTableSize,
+		Faults:           inj,
 	}, false)
 	if err != nil {
 		return nil, err
@@ -147,7 +161,7 @@ func New(opts Options) (*Rig, error) {
 	if opts.Telemetry != nil && opts.Telemetry.SpansEnabled() {
 		drv.SetSink(opts.Telemetry)
 	}
-	return &Rig{Eng: eng, Disk: dsk, Label: lbl, Driver: drv, ctx: opts.Ctx}, nil
+	return &Rig{Eng: eng, Disk: dsk, Label: lbl, Driver: drv, Faults: inj, ctx: opts.Ctx}, nil
 }
 
 // MustNew is New, panicking on error; for tests and examples whose

@@ -84,6 +84,98 @@ func TestRunUntil(t *testing.T) {
 	}
 }
 
+func TestEveryFiresPeriodically(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	e.Every(10, func() { times = append(times, e.Now()) })
+	e.RunUntil(35)
+	if len(times) != 3 || times[0] != 10 || times[1] != 20 || times[2] != 30 {
+		t.Errorf("times = %v, want [10 20 30]", times)
+	}
+	// The t=40 tick is already scheduled past the horizon.
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want the next tick queued", e.Pending())
+	}
+	if e.Now() != 35 {
+		t.Errorf("Now = %v, want 35", e.Now())
+	}
+	e.RunUntil(40)
+	if len(times) != 4 || times[3] != 40 {
+		t.Errorf("times = %v, want a 4th fire at 40", times)
+	}
+}
+
+func TestEveryCancelBeforeFirstFire(t *testing.T) {
+	e := NewEngine()
+	fires := 0
+	cancel := e.Every(10, func() { fires++ })
+	cancel()
+	e.RunUntil(100)
+	if fires != 0 {
+		t.Errorf("cancelled ticker fired %d times", fires)
+	}
+	// The already-scheduled first tick fires as a no-op without
+	// rescheduling, so the queue drains and a bare Run returns.
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d after the dead tick, want 0", e.Pending())
+	}
+	if e.Now() != 100 {
+		t.Errorf("Now = %v, want the full horizon 100", e.Now())
+	}
+	e.Run() // must return immediately: nothing left to do
+}
+
+func TestEveryCancelInsideCallback(t *testing.T) {
+	e := NewEngine()
+	fires := 0
+	var cancel func()
+	cancel = e.Every(10, func() {
+		fires++
+		if fires == 3 {
+			cancel()
+		}
+	})
+	e.RunUntil(1000)
+	if fires != 3 {
+		t.Errorf("fired %d times, want exactly 3 (cancelled inside the 3rd)", fires)
+	}
+	// Cancelling inside the callback still schedules one dead tick
+	// (the callback returned normally before cancel took effect for
+	// the *next* tick); it must have fired as a no-op by now.
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d, want a drained queue", e.Pending())
+	}
+}
+
+func TestEveryCancelIsIdempotent(t *testing.T) {
+	e := NewEngine()
+	fires := 0
+	cancel := e.Every(5, func() { fires++ })
+	e.RunUntil(12)
+	cancel()
+	cancel() // double-cancel must be harmless
+	e.RunUntil(100)
+	if fires != 2 {
+		t.Errorf("fired %d times, want 2 (at 5 and 10)", fires)
+	}
+}
+
+func TestTwoTickersCancelIndependently(t *testing.T) {
+	e := NewEngine()
+	var a, b int
+	cancelA := e.Every(10, func() { a++ })
+	e.Every(10, func() { b++ })
+	e.RunUntil(25)
+	cancelA()
+	e.RunUntil(55)
+	if a != 2 {
+		t.Errorf("cancelled ticker fired %d times, want 2", a)
+	}
+	if b != 5 {
+		t.Errorf("surviving ticker fired %d times, want 5", b)
+	}
+}
+
 func TestStop(t *testing.T) {
 	e := NewEngine()
 	var count int

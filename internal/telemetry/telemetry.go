@@ -41,6 +41,10 @@ const (
 	// KindSpan is one completed device operation with its full
 	// lifecycle timings.
 	KindSpan
+	// KindFault is one fault-handling action taken by the driver: a
+	// retry of a transient error, a bad-block remap, an unrecoverable
+	// failure, or a simulated power loss.
+	KindFault
 )
 
 // Event is one entry of the telemetry stream. The driver reuses a
@@ -88,6 +92,15 @@ type Event struct {
 	RotMS      float64
 	TransferMS float64
 	CompleteMS float64
+
+	// KindFault fields: the fault class reported by the device
+	// ("transient", "media", "crash"), the driver's response ("retry",
+	// "remap", "fail", "crash"), and which service attempt of the
+	// operation this was (0 = first issue). Sector, Count, Write, and
+	// TimeMS are shared with the other kinds.
+	Class   string
+	Action  string
+	Attempt int
 }
 
 // Sink receives telemetry events. Implementations are called on the
@@ -217,6 +230,21 @@ func AppendJSONL(b []byte, e *Event) []byte {
 		b = appendBool(b, e.Redirected)
 		b = append(b, `,"bh":`...)
 		b = appendBool(b, e.BufferHit)
+	case KindFault:
+		b = append(b, `{"k":"fault","t":`...)
+		b = appendFloat(b, e.TimeMS)
+		b = append(b, `,"w":`...)
+		b = appendBool(b, e.Write)
+		b = append(b, `,"sec":`...)
+		b = strconv.AppendInt(b, e.Sector, 10)
+		b = append(b, `,"n":`...)
+		b = strconv.AppendInt(b, int64(e.Count), 10)
+		b = append(b, `,"class":"`...)
+		b = append(b, e.Class...)
+		b = append(b, `","act":"`...)
+		b = append(b, e.Action...)
+		b = append(b, `","try":`...)
+		b = strconv.AppendInt(b, int64(e.Attempt), 10)
 	default:
 		b = append(b, `{"k":"unknown"`...)
 	}
