@@ -1,0 +1,223 @@
+// Command abrbench measures the simulation harness's raw speed and
+// records it durably, so performance changes are observable and
+// regressions are caught in CI.
+//
+// Usage:
+//
+//	abrbench [-out BENCH_sim.json] [-baseline FILE] [-check] [-reps N] [-jobs N]
+//
+// It runs a fixed subset of the experiment registry (the same
+// simulations abrsim runs, compressed) through the parallel runner,
+// takes the best of -reps repetitions of each benchmark, and writes the
+// measurements as JSON:
+//
+//	{
+//	  "schema": 1,
+//	  "go": "go1.24.0",
+//	  "benchmarks": [
+//	    {
+//	      "name": "table2",            experiment id
+//	      "sim_days": 4,               simulated days covered
+//	      "wall_ns": 2947000000,       best wall clock for the whole run
+//	      "ns_per_sim_day": 736750000, wall_ns / sim_days
+//	      "events": 12345678,          engine events dispatched (deterministic)
+//	      "events_per_sec": 4189000,   events / wall seconds
+//	      "allocs": 2345,              heap allocations during the run
+//	      "allocs_per_event": 0.0002,  allocs / events
+//	      "bytes": 9876                heap bytes allocated during the run
+//	    }, ...
+//	  ]
+//	}
+//
+// With -check it compares events_per_sec per benchmark against the
+// baseline file and exits non-zero if any shared benchmark regressed by
+// more than -tolerance (default 10%). The event counts themselves are
+// deterministic; only the wall-clock derived fields vary between runs.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/runner"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// bench is one fixed registry subset entry. The windows are compressed
+// so the full battery runs in well under a CI minute while still
+// dispatching tens of millions of events.
+type bench struct {
+	id   string
+	opts experiment.Options
+}
+
+func benches() []bench {
+	return []bench{
+		// The paper's core experiment: alternating off/on days of the
+		// system workload on both disks.
+		{id: "table2", opts: experiment.Options{Days: 2, WindowMS: 1 * workload.HourMS}},
+		// The users file system: write-heavy, NFS write-through, daily
+		// drift — the cache/fs write path dominates.
+		{id: "table5", opts: experiment.Options{Days: 2, WindowMS: 1 * workload.HourMS}},
+		// Fault-tolerant mode: retries, remaps and dual-slot table
+		// writes on the hot path.
+		{id: "faults", opts: experiment.Options{Days: 2, WindowMS: 30 * 60 * 1000}},
+	}
+}
+
+// Result is one benchmark measurement as serialized into the JSON file.
+type Result struct {
+	Name         string  `json:"name"`
+	SimDays      float64 `json:"sim_days"`
+	WallNS       int64   `json:"wall_ns"`
+	NSPerSimDay  int64   `json:"ns_per_sim_day"`
+	Events       int64   `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Allocs       uint64  `json:"allocs"`
+	AllocsPerEvt float64 `json:"allocs_per_event"`
+	Bytes        uint64  `json:"bytes"`
+}
+
+// File is the schema of BENCH_sim.json.
+type File struct {
+	Schema     int      `json:"schema"`
+	Go         string   `json:"go"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_sim.json", "write measurements to this file")
+	baseline := flag.String("baseline", "", "baseline BENCH_sim.json to compare against")
+	check := flag.Bool("check", false, "exit non-zero if events_per_sec regressed vs -baseline")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional events_per_sec regression before -check fails")
+	reps := flag.Int("reps", 2, "repetitions per benchmark; the best is recorded")
+	jobs := flag.Int("jobs", 0, "parallel simulation jobs per run (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	f := File{Schema: 1, Go: runtime.Version()}
+	for _, b := range benches() {
+		r, err := runBench(b, *reps, *jobs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abrbench: %s: %v\n", b.id, err)
+			os.Exit(1)
+		}
+		f.Benchmarks = append(f.Benchmarks, r)
+		fmt.Fprintf(os.Stderr, "abrbench: %-8s %8.1f sim-days  %6.2fs wall  %11d events  %10.0f events/sec  %.4f allocs/event\n",
+			r.Name, r.SimDays, float64(r.WallNS)/1e9, r.Events, r.EventsPerSec, r.AllocsPerEvt)
+	}
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "abrbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "abrbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "abrbench: wrote %s\n", *out)
+
+	if *baseline != "" {
+		if err := compare(f, *baseline, *tolerance, *check); err != nil {
+			fmt.Fprintln(os.Stderr, "abrbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runBench runs one benchmark reps times and keeps the fastest
+// repetition. The event count is deterministic across repetitions; the
+// wall clock (and so events/sec) is what best-of smooths.
+func runBench(b bench, reps, jobs int) (Result, error) {
+	best := Result{Name: b.id}
+	for i := 0; i < reps; i++ {
+		o := b.opts
+		o.Jobs = jobs
+		o.Telemetry = &telemetry.Options{} // collectors carry engine event counts
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		_, rs, err := experiment.RunSpecFull(context.Background(), b.id, o, runner.Config{Workers: jobs})
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return Result{}, err
+		}
+		var events int64
+		var simDays float64
+		for _, c := range rs.Collectors {
+			if c != nil {
+				events += c.EngineEvents()
+			}
+		}
+		for _, m := range rs.Metrics {
+			simDays += m.Units
+		}
+		r := Result{
+			Name:    b.id,
+			SimDays: simDays,
+			WallNS:  wall.Nanoseconds(),
+			Events:  events,
+			Allocs:  after.Mallocs - before.Mallocs,
+			Bytes:   after.TotalAlloc - before.TotalAlloc,
+		}
+		if simDays > 0 {
+			r.NSPerSimDay = int64(float64(r.WallNS) / simDays)
+		}
+		if wall > 0 {
+			r.EventsPerSec = float64(events) / wall.Seconds()
+		}
+		if events > 0 {
+			r.AllocsPerEvt = float64(r.Allocs) / float64(events)
+		}
+		if best.WallNS == 0 || r.WallNS < best.WallNS {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// compare reports per-benchmark events/sec against the baseline file.
+// With check set it returns an error when any shared benchmark is more
+// than tolerance slower; new or removed benchmarks only inform.
+func compare(f File, path string, tolerance float64, check bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base File
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	old := make(map[string]Result, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		old[r.Name] = r
+	}
+	var failed []string
+	for _, r := range f.Benchmarks {
+		b, ok := old[r.Name]
+		if !ok || b.EventsPerSec <= 0 {
+			fmt.Fprintf(os.Stderr, "abrbench: %-8s no baseline\n", r.Name)
+			continue
+		}
+		ratio := r.EventsPerSec / b.EventsPerSec
+		fmt.Fprintf(os.Stderr, "abrbench: %-8s %10.0f -> %10.0f events/sec (%+.1f%%)\n",
+			r.Name, b.EventsPerSec, r.EventsPerSec, (ratio-1)*100)
+		if check && ratio < 1-tolerance {
+			failed = append(failed, fmt.Sprintf("%s regressed %.1f%%", r.Name, (1-ratio)*100))
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("events/sec regression beyond %.0f%%: %v", tolerance*100, failed)
+	}
+	return nil
+}

@@ -21,7 +21,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sort"
 
 	"repro/internal/geom"
 )
@@ -55,6 +54,13 @@ type Table struct {
 	blockSectors int
 	byOrig       map[int64]*Entry
 	byNew        map[int64]*Entry
+
+	// order holds the entries sorted by original address, maintained
+	// incrementally by Add/Remove. The driver serializes (and the
+	// arranger diffs) the table once per block movement, so keeping the
+	// order sorted at mutation time turns every Entries/Encode call from
+	// an O(n log n) reflection sort into a straight copy.
+	order []*Entry
 
 	// Gen is the table's generation stamp. The driver increments it on
 	// every committed table write; recovery picks the on-disk slot with
@@ -95,6 +101,19 @@ func (t *Table) Add(orig, new int64) error {
 	e := &Entry{Orig: orig, New: new}
 	t.byOrig[orig] = e
 	t.byNew[new] = e
+	// Insert into the sorted order: binary search for the position.
+	lo, hi := 0, len(t.order)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.order[mid].Orig < orig {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	t.order = append(t.order, nil)
+	copy(t.order[lo+1:], t.order[lo:])
+	t.order[lo] = e
 	return nil
 }
 
@@ -107,6 +126,18 @@ func (t *Table) Remove(orig int64) (Entry, bool) {
 	}
 	delete(t.byOrig, orig)
 	delete(t.byNew, e.New)
+	lo, hi := 0, len(t.order)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.order[mid].Orig < orig {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	copy(t.order[lo:], t.order[lo+1:])
+	t.order[len(t.order)-1] = nil
+	t.order = t.order[:len(t.order)-1]
 	return *e, true
 }
 
@@ -157,11 +188,10 @@ func (t *Table) MarkAllDirty() {
 
 // Entries returns the table contents sorted by original address.
 func (t *Table) Entries() []Entry {
-	out := make([]Entry, 0, len(t.byOrig))
-	for _, e := range t.byOrig {
-		out = append(out, *e)
+	out := make([]Entry, len(t.order))
+	for i, e := range t.order {
+		out[i] = *e
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Orig < out[j].Orig })
 	return out
 }
 
@@ -205,9 +235,27 @@ func MaxEntriesIn(sectors int) int {
 }
 
 // Encode serializes the table into a sector-aligned image.
-func (t *Table) Encode() []byte {
-	entries := t.Entries()
-	buf := make([]byte, EncodedSectors(len(entries))*geom.SectorSize)
+func (t *Table) Encode() []byte { return t.EncodeTo(nil) }
+
+// EncodeTo serializes the table into dst's storage when it is large
+// enough (allocating otherwise) and returns the sector-aligned image.
+// dst may hold bytes from a previous encoding; every byte of the
+// returned image is written, including the sector padding. The driver
+// reuses one scratch buffer across its block-table writes, which would
+// otherwise allocate and zero tens of KB per block movement.
+func (t *Table) EncodeTo(dst []byte) []byte {
+	entries := t.order
+	used := headerSize + len(entries)*entrySize
+	n := EncodedSectors(len(entries)) * geom.SectorSize
+	var buf []byte
+	if cap(dst) >= n {
+		buf = dst[:n]
+		// Zero the padding tail; the header and entries overwrite the
+		// rest below.
+		clear(buf[used:])
+	} else {
+		buf = make([]byte, n)
+	}
 	be := binary.BigEndian
 	be.PutUint32(buf[offHdrMagic:], Magic)
 	be.PutUint16(buf[offHdrVersion:], Version)
@@ -224,7 +272,7 @@ func (t *Table) Encode() []byte {
 		}
 		be.PutUint16(buf[o+16:], flags)
 	}
-	be.PutUint32(buf[offHdrCksum:], crc(buf[offHdrGen:headerSize+len(entries)*entrySize]))
+	be.PutUint32(buf[offHdrCksum:], crc(buf[offHdrGen:used]))
 	return buf
 }
 
@@ -284,11 +332,25 @@ func RecoverDecode(buf []byte) (*Table, error) {
 }
 
 // crc is a simple 32-bit checksum (Fletcher-style) over the entry bytes.
+// The modulo is deferred across runs of up to 5552 bytes — the largest
+// run for which the b accumulator provably cannot overflow uint32 (the
+// same bound Adler-32 uses) — which produces the exact residues of the
+// per-byte form at a fraction of the cost. The driver checksums the
+// whole table image once per block movement, so this is warm code.
 func crc(data []byte) uint32 {
 	var a, b uint32 = 1, 0
-	for _, c := range data {
-		a = (a + uint32(c)) % 65521
-		b = (b + a) % 65521
+	for len(data) > 0 {
+		run := data
+		if len(run) > 5552 {
+			run = run[:5552]
+		}
+		for _, c := range run {
+			a += uint32(c)
+			b += a
+		}
+		a %= 65521
+		b %= 65521
+		data = data[len(run):]
 	}
 	return b<<16 | a
 }

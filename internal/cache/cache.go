@@ -169,7 +169,9 @@ func (c *Cache) Read(block int64, done func(data []byte, err error)) {
 
 // Write updates the block in the cache and marks it dirty; the disk
 // write is deferred to the update policy (or eviction). done fires once
-// the block is in the cache — not when it reaches disk.
+// the block is in the cache — not when it reaches disk. The cache takes
+// a private copy of data; callers that can hand their buffer over
+// should use WriteOwned instead.
 func (c *Cache) Write(block int64, data []byte, done func(err error)) {
 	if len(data) != c.drv.BlockSize().Bytes() {
 		c.eng.After(0, func() {
@@ -180,14 +182,31 @@ func (c *Cache) Write(block int64, data []byte, done func(err error)) {
 		})
 		return
 	}
-	buf := append([]byte(nil), data...)
+	c.WriteOwned(block, append([]byte(nil), data...), done)
+}
+
+// WriteOwned is Write with ownership transfer: the cache installs data
+// directly as its copy of the block, so the caller must not read or
+// modify the buffer after the call. The file system's serialization
+// paths encode every block into a fresh buffer; handing that buffer
+// over skips Write's defensive copy of every written block.
+func (c *Cache) WriteOwned(block int64, data []byte, done func(err error)) {
+	if len(data) != c.drv.BlockSize().Bytes() {
+		c.eng.After(0, func() {
+			if done != nil {
+				done(fmt.Errorf("cache: write of %d bytes, block size is %d",
+					len(data), c.drv.BlockSize().Bytes()))
+			}
+		})
+		return
+	}
 	if el, ok := c.entries[block]; ok {
 		e := el.Value.(*entry)
-		e.data = buf
+		e.data = data
 		e.dirty = true
 		c.lru.MoveToFront(el)
 	} else {
-		c.insert(block, buf, true)
+		c.insert(block, data, true)
 	}
 	c.eng.After(0, func() {
 		if done != nil {
@@ -199,7 +218,9 @@ func (c *Cache) Write(block int64, data []byte, done func(err error)) {
 // WriteThrough updates the block in the cache (kept clean) and writes it
 // to disk immediately; done fires when the disk write completes. NFS2
 // servers wrote client data synchronously, so the users-workload
-// experiments use this path for file data.
+// experiments use this path for file data. The cache takes a private
+// copy of data; see WriteThroughOwned for the ownership-transfer
+// variant.
 func (c *Cache) WriteThrough(block int64, data []byte, done func(err error)) {
 	if len(data) != c.drv.BlockSize().Bytes() {
 		c.eng.After(0, func() {
@@ -210,17 +231,33 @@ func (c *Cache) WriteThrough(block int64, data []byte, done func(err error)) {
 		})
 		return
 	}
-	buf := append([]byte(nil), data...)
+	c.WriteThroughOwned(block, append([]byte(nil), data...), done)
+}
+
+// WriteThroughOwned is WriteThrough with ownership transfer: data
+// becomes the cache's copy of the block (and is handed to the driver
+// for the synchronous disk write), so the caller must not read or
+// modify the buffer after the call.
+func (c *Cache) WriteThroughOwned(block int64, data []byte, done func(err error)) {
+	if len(data) != c.drv.BlockSize().Bytes() {
+		c.eng.After(0, func() {
+			if done != nil {
+				done(fmt.Errorf("cache: write of %d bytes, block size is %d",
+					len(data), c.drv.BlockSize().Bytes()))
+			}
+		})
+		return
+	}
 	if el, ok := c.entries[block]; ok {
 		e := el.Value.(*entry)
-		e.data = buf
+		e.data = data
 		e.dirty = false
 		c.lru.MoveToFront(el)
 	} else {
-		c.insert(block, buf, false)
+		c.insert(block, data, false)
 	}
 	c.writebacks++
-	c.drv.WriteBlock(c.part, block, buf, func(_ []byte, err error) {
+	c.drv.WriteBlock(c.part, block, data, func(_ []byte, err error) {
 		if done != nil {
 			done(err)
 		}

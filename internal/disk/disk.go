@@ -105,6 +105,14 @@ type Disk struct {
 	model   Model
 	headCyl int
 
+	// seekMS is the model's seek curve memoized over every distance the
+	// geometry allows, plus the cached single-cylinder time used for
+	// cylinder switches mid-transfer. Lookups are bit-identical to the
+	// curve (see seek.NewTable), just without the transcendental math on
+	// every request.
+	seekMS   *seek.Table
+	oneCylMS float64
+
 	pages map[int64][]byte // sparse sector storage, keyed by sector/pageSectors
 
 	// Read-ahead buffer state: the half-open sector range currently held
@@ -140,6 +148,8 @@ func New(m Model) (*Disk, error) {
 		model: m,
 		pages: make(map[int64][]byte),
 	}
+	d.seekMS = seek.NewTable(m.Seek, m.Geom.Cylinders-1)
+	d.oneCylMS = d.seekMS.SeekMS(1)
 	if m.TrackBufferKB > 0 {
 		d.bufCapSectors = int64(m.TrackBufferKB) * 1024 / geom.SectorSize
 	}
@@ -216,7 +226,7 @@ func (d *Disk) transferMS(sector int64, count int) float64 {
 		t += float64(trackSwitches) * d.model.HeadSwitchMS
 	}
 	if cylSwitches > 0 {
-		t += float64(cylSwitches) * d.model.Seek.SeekMS(1)
+		t += float64(cylSwitches) * d.oneCylMS
 	}
 	return t
 }
@@ -350,7 +360,7 @@ func (d *Disk) mechanicalService(nowMS float64, sector int64, count int) Timing 
 	}
 	t := Timing{OverheadMS: d.model.OverheadMS, SeekDist: dist}
 	d.cumSeekCyls += int64(dist)
-	t.SeekMS = d.model.Seek.SeekMS(dist)
+	t.SeekMS = d.seekMS.SeekMS(dist)
 	seekEnd := nowMS + t.OverheadMS + t.SeekMS
 	t.RotMS = d.rotationalDelayMS(seekEnd, sector)
 	t.TransferMS = d.transferMS(sector, count)

@@ -101,8 +101,13 @@ var ErrDead = fmt.Errorf("driver: device is dead: %w", fault.ErrCrash)
 // reads, data holds the returned bytes; for writes data is nil.
 type DoneFunc func(data []byte, err error)
 
-// ioreq is one queued device operation.
+// ioreq is one queued device operation. Records are pooled: the
+// completion path returns them to the driver's free list, so the
+// per-request strategy path allocates nothing in steady state. An ioreq
+// is also its own completion event (sim.Caller), replacing the closure
+// the driver used to allocate per service attempt.
 type ioreq struct {
+	d          *Driver // owner; set at enqueue, used by Call
 	write      bool
 	internal   bool  // driver-generated (block movement, table writes)
 	redirected bool  // sent to the reserved region by the block table
@@ -117,10 +122,18 @@ type ioreq struct {
 	dispatchMS float64 // first queue exit; retries keep the original
 	cyl        int
 	done       DoneFunc
+
+	// Completion-interrupt payload, filled by issue for Call.
+	rdata  []byte
+	timing disk.Timing
 }
 
 // Cylinder implements sched.Cylindered.
 func (r *ioreq) Cylinder() int { return r.cyl }
+
+// Call implements sim.Caller: the completion interrupt of the in-flight
+// service attempt recorded by issue.
+func (r *ioreq) Call() { r.d.interrupt(r, r.rdata, r.timing, r.dispatchMS) }
 
 // Driver is one device instance. It is single-threaded: all entry points
 // must be called from the simulation goroutine, exactly as a real
@@ -134,6 +147,20 @@ type Driver struct {
 
 	queue []*ioreq
 	busy  bool
+
+	// Hot-path scratch: completed ioreqs are recycled through reqFree,
+	// and start reuses cands for the scheduler's candidate view instead
+	// of allocating a slice per dispatch.
+	reqFree []*ioreq
+	cands   []sched.Cylindered
+
+	// tableBuf is the reusable encoding buffer for block-table writes
+	// (see writeTable); tableBufUsed tracks how much of it the previous
+	// image occupied, and tableBufBusy guards the window where a queued
+	// table write still references it.
+	tableBuf     []byte
+	tableBufUsed int
+	tableBufBusy bool
 
 	// Blocks currently being moved by BCopy/Clean; requests targeting
 	// them are delayed until movement completes (Section 4.1.3).
@@ -495,17 +522,37 @@ func (d *Driver) strategy(write bool, vsec int64, count int, data []byte, done D
 
 	d.mon.record(blockStart, count, write)
 	d.recordArrival(blockStart, write)
-	d.enqueue(&ioreq{
-		write:      write,
-		redirected: redirected,
-		orig:       blockStart,
-		sector:     target,
-		count:      count,
-		data:       data,
-		arriveMS:   d.eng.Now(),
-		cyl:        d.dsk.Geom().CylinderOf(target),
-		done:       done,
-	})
+	r := d.getReq()
+	r.write = write
+	r.redirected = redirected
+	r.orig = blockStart
+	r.sector = target
+	r.count = count
+	r.data = data
+	r.arriveMS = d.eng.Now()
+	r.cyl = d.dsk.Geom().CylinderOf(target)
+	r.done = done
+	d.enqueue(r)
+}
+
+// getReq takes a zeroed request record from the free list, or allocates
+// one the first times through.
+func (d *Driver) getReq() *ioreq {
+	if n := len(d.reqFree); n > 0 {
+		r := d.reqFree[n-1]
+		d.reqFree[n-1] = nil
+		d.reqFree = d.reqFree[:n-1]
+		return r
+	}
+	return &ioreq{d: d}
+}
+
+// putReq recycles a completed request. Callers must not touch r again;
+// every field (including buffer and callback references) is cleared so
+// the pool does not pin completed requests' data.
+func (d *Driver) putReq(r *ioreq) {
+	*r = ioreq{d: d}
+	d.reqFree = append(d.reqFree, r)
 }
 
 // recordArrival updates the arrival-order (FCFS, unrearranged) seek
@@ -579,6 +626,7 @@ func (d *Driver) enqueue(r *ioreq) {
 		d.fail(r.done, ErrDead)
 		return
 	}
+	r.d = d
 	d.applyRemap(r)
 	r.qdepth = d.Outstanding()
 	d.queue = append(d.queue, r)
@@ -594,10 +642,11 @@ func (d *Driver) start() {
 		return
 	}
 	d.busy = true
-	cands := make([]sched.Cylindered, len(d.queue))
-	for i, r := range d.queue {
-		cands[i] = r
+	cands := d.cands[:0]
+	for _, r := range d.queue {
+		cands = append(cands, r)
 	}
+	d.cands = cands
 	idx := d.cfg.Sched.Pick(d.dsk.HeadCylinder(), cands)
 	r := d.queue[idx]
 	d.queue = append(d.queue[:idx], d.queue[idx+1:]...)
@@ -625,7 +674,9 @@ func (d *Driver) issue(r *ioreq) {
 		d.handleError(r, err)
 		return
 	}
-	d.eng.After(t.TotalMS(), func() { d.interrupt(r, rdata, t, r.dispatchMS) })
+	r.rdata = rdata
+	r.timing = t
+	d.eng.AfterCall(t.TotalMS(), r)
 }
 
 // handleError classifies a device error and drives recovery: transient
@@ -809,6 +860,9 @@ func (d *Driver) interrupt(r *ioreq, rdata []byte, t disk.Timing, startMS float6
 		}
 	}
 	d.start()
+	// The request is fully retired (error paths never reach here);
+	// recycle the record.
+	d.putReq(r)
 }
 
 // fail delivers an immediate asynchronous error.

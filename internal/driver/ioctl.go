@@ -209,13 +209,42 @@ func (d *Driver) writeTable(done ErrFunc) {
 		sectors = slotSectors(d.cfg.BlockSize)
 		at += int64(d.bt.Gen%2) * int64(sectors)
 	}
-	// Pad to the slot size so stale tails are overwritten.
-	full := make([]byte, sectors*geom.SectorSize)
-	copy(full, d.bt.Encode())
+	// The write covers the whole slot so stale tails are overwritten.
+	// The image is encoded into a per-driver scratch buffer: table
+	// writes serialize through their completion chains, so the scratch
+	// is almost always free; if a second write does overlap the first
+	// (tableBufBusy), it falls back to a fresh allocation. The disk
+	// model copies the data when the request is dispatched, and the
+	// busy flag is held until completion, which covers that window.
+	size := sectors * geom.SectorSize
+	var full []byte
+	usedScratch := false
+	if !d.tableBufBusy {
+		if cap(d.tableBuf) < size {
+			d.tableBuf = make([]byte, size)
+			d.tableBufUsed = 0
+		}
+		img := d.bt.EncodeTo(d.tableBuf[:0])
+		// The buffer beyond the previous image is still zero; clear
+		// only the stale bytes a shrinking table leaves behind.
+		if d.tableBufUsed > len(img) {
+			clear(d.tableBuf[len(img):d.tableBufUsed])
+		}
+		d.tableBufUsed = len(img)
+		d.tableBufBusy = true
+		usedScratch = true
+		full = d.tableBuf[:size]
+	} else {
+		full = make([]byte, size)
+		copy(full, d.bt.Encode())
+	}
 	d.enqueue(&ioreq{internal: true, write: true, phase: "table-write", orig: at, sector: at,
-		count: len(full) / geom.SectorSize, data: full,
+		count: size / geom.SectorSize, data: full,
 		arriveMS: d.eng.Now(), cyl: d.dsk.Geom().CylinderOf(at),
 		done: func(_ []byte, err error) {
+			if usedScratch {
+				d.tableBufBusy = false
+			}
 			if done != nil {
 				done(err)
 			}

@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// This file is the engine-equivalence lock: the golden files under
+// testdata/equiv were rendered before the sim engine's event queue was
+// rewritten (PR 4), and every simulation result the harness emits must
+// stay byte-identical across that rewrite. The specs cover the two
+// experiment families whose numbers the paper's tables quote (table2:
+// on/off, table7: placement policies) plus the two fault-tolerance
+// extensions ("faults", "crash"), whose retry/backoff timing is the
+// most sensitive to event-ordering changes.
+//
+// Regenerate with UPDATE_EQUIV_GOLDEN=1 go test ./internal/experiment
+// -run TestEngineEquivalenceGolden — but only when an intentional
+// simulation-semantics change is being made; a diff here means the
+// engine no longer fires events in the committed order.
+
+// equivOptions is the compressed fixed configuration the goldens were
+// generated with: 2 days at a 30-minute window keeps the whole battery
+// fast while still exercising rearrangement (day 1 is an on-day).
+func equivOptions() Options {
+	return Options{Days: 2, WindowMS: 30 * 60 * 1000}
+}
+
+// equivSpecs lists the locked experiment ids. "table7" is skipped in
+// -short mode (it simulates the 3x2 policy matrix); the other three
+// always run, including under -race in CI.
+var equivSpecs = []struct {
+	id    string
+	short bool // runs in -short mode too
+}{
+	{"table2", true},
+	{"faults", true},
+	{"crash", true},
+	{"table7", false},
+}
+
+// renderSpec gathers one spec on the given worker count and renders its
+// reports exactly as abrsim prints them.
+func renderSpec(t *testing.T, id string, workers int) string {
+	t.Helper()
+	reports, err := RunSpec(context.Background(), id, equivOptions(),
+		runner.Config{Workers: workers})
+	if err != nil {
+		t.Fatalf("%s (jobs=%d): %v", id, workers, err)
+	}
+	var sb strings.Builder
+	for _, r := range reports {
+		sb.WriteString(r.Render())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func TestEngineEquivalenceGolden(t *testing.T) {
+	for _, spec := range equivSpecs {
+		spec := spec
+		t.Run(spec.id, func(t *testing.T) {
+			if testing.Short() && !spec.short {
+				t.Skip("policy matrix simulation in -short mode")
+			}
+			got := renderSpec(t, spec.id, 1)
+			path := filepath.Join("testdata", "equiv", spec.id+".golden")
+			if os.Getenv("UPDATE_EQUIV_GOLDEN") != "" {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(got))
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading golden (generate with UPDATE_EQUIV_GOLDEN=1): %v", err)
+			}
+			if got != string(want) {
+				gotPath := path + ".got"
+				_ = os.WriteFile(gotPath, []byte(got), 0o644)
+				t.Errorf("%s output differs from pre-rewrite golden %s; observed bytes written to %s",
+					spec.id, path, gotPath)
+			}
+			// The parallel gather must agree byte-for-byte with the
+			// sequential one — the runner's ordering contract, re-checked
+			// here because the pooled engine must stay job-private.
+			if par := renderSpec(t, spec.id, 8); par != got {
+				t.Errorf("%s: jobs=8 output differs from jobs=1", spec.id)
+			}
+		})
+	}
+}

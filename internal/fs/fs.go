@@ -362,9 +362,11 @@ func (f *FS) runSeq(steps []step, done func(error)) {
 		case s.data == nil:
 			c.Read(s.block, func(_ []byte, err error) { next(err) })
 		case !s.meta && f.prm.SyncData:
-			c.WriteThrough(s.block, s.data, next)
+			// Step buffers are encoded fresh per operation and never
+			// touched again, so the cache can take them as-is.
+			c.WriteThroughOwned(s.block, s.data, next)
 		default:
-			c.Write(s.block, s.data, next)
+			c.WriteOwned(s.block, s.data, next)
 		}
 	}
 	run(0)

@@ -127,7 +127,7 @@ func (f *FS) Lookup(path string, done func(Ino, error)) {
 func (f *FS) touchWalk(path string) {
 	cur := f.inodes[RootIno]
 	ib := f.inodeBlockOf(RootIno)
-	f.meta.Write(ib, f.encodeInodeBlock(ib), nil)
+	f.meta.WriteOwned(ib, f.encodeInodeBlock(ib), nil)
 	for _, comp := range split(path) {
 		next, ok := cur.entries[comp]
 		if !ok {
@@ -138,7 +138,7 @@ func (f *FS) touchWalk(path string) {
 			return
 		}
 		ib := f.inodeBlockOf(nd.ino)
-		f.meta.Write(ib, f.encodeInodeBlock(ib), nil)
+		f.meta.WriteOwned(ib, f.encodeInodeBlock(ib), nil)
 		cur = nd
 	}
 }
@@ -431,7 +431,7 @@ func (h *Handle) ReadAt(idx, n int64, done func([][]byte, error)) {
 			if b == idx+n {
 				if !f.prm.NoAtime {
 					ib := f.inodeBlockOf(h.ino)
-					f.meta.Write(ib, f.encodeInodeBlock(ib), nil)
+					f.meta.WriteOwned(ib, f.encodeInodeBlock(ib), nil)
 				}
 				if done != nil {
 					done(out, nil)

@@ -1,0 +1,38 @@
+package seek
+
+// Table is a Curve memoized into a dense per-distance lookup array.
+// The paper's curves cost a √, a ∛ and a ln per evaluation, and the
+// disk model evaluates one per request on its hottest path; a disk has
+// at most a few thousand cylinders, so the entire curve fits in a few
+// KB precomputed at disk construction. Values are the exact float64s
+// the wrapped curve returns — a Table is bit-for-bit equivalent to its
+// source, so swapping one in cannot perturb simulation results.
+type Table struct {
+	ms  []float64 // ms[d] for d in [0, len(ms))
+	src Curve     // fallback for distances past the table
+}
+
+// NewTable precomputes c over distances [0, maxDist]. maxDist is
+// typically cylinders−1, the longest seek the geometry allows; larger
+// distances (none occur in practice) fall back to the wrapped curve.
+func NewTable(c Curve, maxDist int) *Table {
+	if maxDist < 0 {
+		maxDist = 0
+	}
+	t := &Table{ms: make([]float64, maxDist+1), src: c}
+	for d := 1; d <= maxDist; d++ {
+		t.ms[d] = c.SeekMS(d)
+	}
+	return t
+}
+
+// SeekMS implements Curve by table lookup.
+func (t *Table) SeekMS(d int) float64 {
+	if d < 0 {
+		d = -d
+	}
+	if d < len(t.ms) {
+		return t.ms[d]
+	}
+	return t.src.SeekMS(d)
+}

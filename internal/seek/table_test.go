@@ -1,0 +1,61 @@
+package seek
+
+import "testing"
+
+// TestTableBitIdentical is the contract that lets the disk model swap a
+// Table in for the analytic curve: every distance a real geometry can
+// produce must return the exact same float64, including past the table
+// (fallback) and for negative distances.
+func TestTableBitIdentical(t *testing.T) {
+	curves := []struct {
+		name string
+		c    Curve
+	}{
+		{"toshiba", ToshibaMK156F},
+		{"fujitsu", FujitsuM2266},
+		{"linear", Linear{StartupMS: 2, PerCylMS: 0.01}},
+	}
+	for _, tc := range curves {
+		tab := NewTable(tc.c, 1657)
+		for d := -1700; d <= 1700; d++ {
+			if got, want := tab.SeekMS(d), tc.c.SeekMS(d); got != want {
+				t.Fatalf("%s: Table.SeekMS(%d) = %v, curve gives %v", tc.name, d, got, want)
+			}
+		}
+		// Past the table end: fallback to the wrapped curve.
+		if got, want := tab.SeekMS(5000), tc.c.SeekMS(5000); got != want {
+			t.Errorf("%s: fallback SeekMS(5000) = %v, want %v", tc.name, got, want)
+		}
+	}
+}
+
+func TestTableZeroAndTinySizes(t *testing.T) {
+	tab := NewTable(ToshibaMK156F, 0)
+	if tab.SeekMS(0) != 0 {
+		t.Errorf("SeekMS(0) = %v, want 0", tab.SeekMS(0))
+	}
+	if got, want := tab.SeekMS(1), ToshibaMK156F.SeekMS(1); got != want {
+		t.Errorf("SeekMS(1) past a size-0 table = %v, want %v", got, want)
+	}
+	neg := NewTable(ToshibaMK156F, -5)
+	if neg.SeekMS(0) != 0 {
+		t.Errorf("negative-size table: SeekMS(0) = %v, want 0", neg.SeekMS(0))
+	}
+}
+
+func BenchmarkCurveDirect(b *testing.B) {
+	var sum float64
+	for i := 0; i < b.N; i++ {
+		sum += FujitsuM2266.SeekMS(i & 1023)
+	}
+	_ = sum
+}
+
+func BenchmarkCurveTable(b *testing.B) {
+	tab := NewTable(FujitsuM2266, 1657)
+	var sum float64
+	for i := 0; i < b.N; i++ {
+		sum += tab.SeekMS(i & 1023)
+	}
+	_ = sum
+}

@@ -1,0 +1,111 @@
+package sim
+
+import "testing"
+
+// Allocation regression tests: the whole point of the inlined heap and
+// the Caller variant is that steady-state scheduling stays off the
+// garbage collector's books. These assertions keep container/heap-style
+// interface boxing from silently returning.
+
+// warmEngine returns an engine whose heap backing array has already
+// grown past what the test will push, so append never reallocates.
+func warmEngine() *Engine {
+	e := NewEngine()
+	for i := 0; i < 256; i++ {
+		e.After(1, func() {})
+	}
+	e.Run()
+	return e
+}
+
+func TestAfterSteadyStateZeroAllocs(t *testing.T) {
+	e := warmEngine()
+	fn := func() {}
+	if n := testing.AllocsPerRun(1000, func() {
+		e.After(1, fn)
+		e.RunUntil(e.Now() + 2)
+	}); n != 0 {
+		t.Errorf("steady-state After: %v allocs per event, want 0", n)
+	}
+}
+
+func TestAtSteadyStateZeroAllocs(t *testing.T) {
+	e := warmEngine()
+	fn := func() {}
+	if n := testing.AllocsPerRun(1000, func() {
+		e.At(e.Now()+1, fn)
+		e.RunUntil(e.Now() + 2)
+	}); n != 0 {
+		t.Errorf("steady-state At: %v allocs per event, want 0", n)
+	}
+}
+
+// callCounter is a minimal long-lived Caller, standing in for a pooled
+// request record.
+type callCounter struct{ n int }
+
+func (c *callCounter) Call() { c.n++ }
+
+func TestAfterCallSteadyStateZeroAllocs(t *testing.T) {
+	e := warmEngine()
+	c := &callCounter{}
+	if n := testing.AllocsPerRun(1000, func() {
+		e.AfterCall(1, c)
+		e.RunUntil(e.Now() + 2)
+	}); n != 0 {
+		t.Errorf("steady-state AfterCall: %v allocs per event, want 0", n)
+	}
+	if c.n == 0 {
+		t.Fatal("Caller never fired")
+	}
+}
+
+func TestEverySteadyStateZeroAllocs(t *testing.T) {
+	e := warmEngine()
+	ticks := 0
+	cancel := e.Every(1, func() { ticks++ })
+	defer cancel()
+	e.RunUntil(e.Now() + 10) // past the first re-arm
+	if n := testing.AllocsPerRun(1000, func() {
+		e.RunUntil(e.Now() + 1)
+	}); n != 0 {
+		t.Errorf("steady-state Every tick: %v allocs per tick, want 0", n)
+	}
+	if ticks < 10 {
+		t.Fatalf("ticker only fired %d times", ticks)
+	}
+}
+
+func BenchmarkAfterRunUntil(b *testing.B) {
+	e := warmEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(1, fn)
+		e.RunUntil(e.Now() + 2)
+	}
+}
+
+// BenchmarkHeapChurn measures raw queue throughput: a standing
+// population of events each rescheduling themselves, the shape the
+// driver's phase chains and workload arrivals produce.
+func BenchmarkHeapChurn(b *testing.B) {
+	e := NewEngine()
+	const population = 1024
+	rnd := NewRand(1)
+	var self func()
+	n := 0
+	self = func() {
+		n++
+		if n < b.N {
+			e.After(rnd.Exp(5), self)
+		}
+	}
+	for i := 0; i < population; i++ {
+		e.After(rnd.Exp(5), self)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}

@@ -139,11 +139,36 @@ func TestEveryCancelInsideCallback(t *testing.T) {
 	if fires != 3 {
 		t.Errorf("fired %d times, want exactly 3 (cancelled inside the 3rd)", fires)
 	}
-	// Cancelling inside the callback still schedules one dead tick
-	// (the callback returned normally before cancel took effect for
-	// the *next* tick); it must have fired as a no-op by now.
 	if e.Pending() != 0 {
 		t.Errorf("Pending = %d, want a drained queue", e.Pending())
+	}
+}
+
+func TestEveryCancelInsideCallbackDropsRearm(t *testing.T) {
+	// Cancelling from inside the callback must drop the pending re-arm
+	// immediately: right after the cancelling tick fires, the queue
+	// holds no dead ticker event (it used to re-arm once and fire a
+	// no-op one period later).
+	e := NewEngine()
+	fires := 0
+	var cancel func()
+	cancel = e.Every(10, func() {
+		fires++
+		if fires == 3 {
+			cancel()
+		}
+	})
+	e.RunUntil(30) // exactly the 3rd fire
+	if fires != 3 {
+		t.Fatalf("fired %d times, want 3", fires)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d immediately after cancel-inside-callback, want 0 (no re-arm)", e.Pending())
+	}
+	cancel() // double-cancel after the ticker is gone must be harmless
+	e.RunUntil(100)
+	if fires != 3 {
+		t.Errorf("fired %d times after double-cancel, want still 3", fires)
 	}
 }
 

@@ -76,6 +76,11 @@ func (p *clientPool) run(start, end float64, done func(error)) {
 	for c := 0; c < p.n; c++ {
 		c := c
 		var loop func()
+		// One think-then-loop continuation per client, not one per job:
+		// the pool schedules millions of jobs per simulated day, and the
+		// continuation closure was the generator's last steady-state
+		// allocation.
+		rearm := func() { p.eng.After(p.rnd.Exp(p.think), loop) }
 		loop = func() {
 			if p.eng.Now() >= end {
 				active--
@@ -84,9 +89,7 @@ func (p *clientPool) run(start, end float64, done func(error)) {
 				}
 				return
 			}
-			p.job(c, func() {
-				p.eng.After(p.rnd.Exp(p.think), loop)
-			})
+			p.job(c, rearm)
 		}
 		p.eng.At(start+p.rnd.Exp(p.think), loop)
 	}
