@@ -24,7 +24,9 @@
 //	      "events_per_sec": 4189000,   events / wall seconds
 //	      "allocs": 2345,              heap allocations during the run
 //	      "allocs_per_event": 0.0002,  allocs / events
-//	      "bytes": 9876                heap bytes allocated during the run
+//	      "bytes": 9876,               heap bytes allocated during the run
+//	      "volume": [...]              volume-scale only: per-configuration
+//	                                   {config, disks, requests, req_per_sim_sec}
 //	    }, ...
 //	  ]
 //	}
@@ -69,6 +71,11 @@ func benches() []bench {
 		// Fault-tolerant mode: retries, remaps and dual-slot table
 		// writes on the hot path.
 		{id: "faults", opts: experiment.Options{Days: 2, WindowMS: 30 * 60 * 1000}},
+		// The multi-disk volume matrix: fan-out/fan-in across member
+		// engines sharing one event queue, up to 8 spindles. Its
+		// per-configuration throughputs ride along in the JSON so the
+		// scale-out claim (4-disk stripe beats one disk) is recorded.
+		{id: "volume-scale", opts: experiment.Options{Days: 2, WindowMS: 15 * 60 * 1000}},
 	}
 }
 
@@ -83,6 +90,18 @@ type Result struct {
 	Allocs       uint64  `json:"allocs"`
 	AllocsPerEvt float64 `json:"allocs_per_event"`
 	Bytes        uint64  `json:"bytes"`
+	// Volume holds the volume-scale matrix's per-configuration simulated
+	// throughputs (deterministic, unlike the wall-clock fields); empty
+	// for every other benchmark.
+	Volume []VolBench `json:"volume,omitempty"`
+}
+
+// VolBench records one volume configuration's simulated throughput.
+type VolBench struct {
+	Config       string  `json:"config"`
+	Disks        int     `json:"disks"`
+	Requests     int64   `json:"requests"`
+	ReqPerSimSec float64 `json:"req_per_sim_sec"`
 }
 
 // File is the schema of BENCH_sim.json.
@@ -178,6 +197,14 @@ func runBench(b bench, reps, jobs int) (Result, error) {
 		}
 		if events > 0 {
 			r.AllocsPerEvt = float64(r.Allocs) / float64(events)
+		}
+		for _, p := range rs.Volume {
+			r.Volume = append(r.Volume, VolBench{
+				Config:       p.Config,
+				Disks:        p.Disks,
+				Requests:     p.Requests,
+				ReqPerSimSec: p.Throughput,
+			})
 		}
 		if best.WallNS == 0 || r.WallNS < best.WallNS {
 			best = r

@@ -15,16 +15,22 @@
 // With -telemetry FILE, a time-series CSV written by abrsim -sample is
 // summarized as a queue-depth-over-time table per job, plus the final
 // fault-tolerance counters (faults, retries, remaps, unrecovered) when
-// the run sampled them (abrsim -fault-plan); files without those
-// columns are summarized without the fault line. The flag works alone
-// or alongside -trace.
+// the run sampled them (abrsim -fault-plan). Volume runs sample those
+// counters per member disk (disk0_faults, disk1_faults, ...); every
+// sampled disk gets its own counter line, not just the first. Files
+// without fault columns are summarized without the fault lines. The
+// flag works alone or alongside -trace.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/disk"
@@ -47,7 +53,7 @@ func main() {
 	flag.Parse()
 
 	if *teleFile != "" {
-		if err := reportTelemetry(*teleFile); err != nil {
+		if err := reportTelemetry(os.Stdout, *teleFile); err != nil {
 			fmt.Fprintln(os.Stderr, "abrreport:", err)
 			os.Exit(1)
 		}
@@ -73,12 +79,17 @@ func main() {
 // each row reports the bucket's sample count plus the mean and maximum
 // observed queue depth. Malformed files produce an error, never a
 // panic.
-func reportTelemetry(path string) error {
+func reportTelemetry(w io.Writer, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
+	return summarizeTelemetry(w, f, path)
+}
+
+// summarizeTelemetry is reportTelemetry on an already-open CSV stream.
+func summarizeTelemetry(w io.Writer, f io.Reader, path string) error {
 	rows, err := telemetry.ReadCSV(f)
 	if err != nil {
 		return fmt.Errorf("%s: %w", path, err)
@@ -100,9 +111,9 @@ func reportTelemetry(path string) error {
 	for _, job := range jobs {
 		rs := byJob[job]
 		if _, ok := rs[0].Values["queue_depth"]; !ok {
-			fmt.Printf("%s: no queue_depth column in %d samples\n", job, len(rs))
-			printFaultCounters(rs)
-			fmt.Println()
+			fmt.Fprintf(w, "%s: no queue_depth column in %d samples\n", job, len(rs))
+			printFaultCounters(w, rs)
+			fmt.Fprintln(w)
 			continue
 		}
 		lo, hi := rs[0].TimeMS, rs[0].TimeMS
@@ -137,22 +148,22 @@ func reportTelemetry(path string) error {
 				bs[i].max = qd
 			}
 		}
-		fmt.Printf("%s: queue depth over time (%d samples, sim %.1fh-%.1fh)\n",
+		fmt.Fprintf(w, "%s: queue depth over time (%d samples, sim %.1fh-%.1fh)\n",
 			job, len(rs), lo/3_600_000, hi/3_600_000)
-		fmt.Printf("  %-16s %8s %10s %8s\n", "window", "samples", "mean qd", "max qd")
+		fmt.Fprintf(w, "  %-16s %8s %10s %8s\n", "window", "samples", "mean qd", "max qd")
 		for i, b := range bs {
 			from := lo + span*float64(i)/buckets
 			to := lo + span*float64(i+1)/buckets
 			if b.n == 0 {
-				fmt.Printf("  %6.1fh-%6.1fh %8d %10s %8s\n",
+				fmt.Fprintf(w, "  %6.1fh-%6.1fh %8d %10s %8s\n",
 					from/3_600_000, to/3_600_000, 0, "-", "-")
 				continue
 			}
-			fmt.Printf("  %6.1fh-%6.1fh %8d %10.2f %8.0f\n",
+			fmt.Fprintf(w, "  %6.1fh-%6.1fh %8d %10.2f %8.0f\n",
 				from/3_600_000, to/3_600_000, b.n, b.sum/float64(b.n), b.max)
 		}
-		printFaultCounters(rs)
-		fmt.Println()
+		printFaultCounters(w, rs)
+		fmt.Fprintln(w)
 	}
 	return nil
 }
@@ -160,14 +171,38 @@ func reportTelemetry(path string) error {
 // printFaultCounters prints the job's final fault-tolerance counters.
 // The columns exist only when the run sampled with an active fault plan
 // (they are cumulative, so the last sample holds the totals); files
-// without them are silently summarized without this line.
-func printFaultCounters(rs []telemetry.SampleRow) {
+// without them are silently summarized without these lines. Volume runs
+// tag the counters per member disk (disk<i>_faults, ...); one line is
+// printed for every sampled disk — members without a fault plan are
+// not sampled, so the indices need not be contiguous.
+func printFaultCounters(w io.Writer, rs []telemetry.SampleRow) {
 	last := rs[len(rs)-1].Values
-	if _, ok := last["faults"]; !ok {
-		return
+	if _, ok := last["faults"]; ok {
+		fmt.Fprintf(w, "  fault counters: %.0f faults, %.0f retries, %.0f remaps, %.0f unrecovered\n",
+			last["faults"], last["retries"], last["remaps"], last["unrecovered"])
 	}
-	fmt.Printf("  fault counters: %.0f faults, %.0f retries, %.0f remaps, %.0f unrecovered\n",
-		last["faults"], last["retries"], last["remaps"], last["unrecovered"])
+	var disks []int
+	for k := range last {
+		rest, ok := strings.CutPrefix(k, "disk")
+		if !ok {
+			continue
+		}
+		num, ok := strings.CutSuffix(rest, "_faults")
+		if !ok {
+			continue
+		}
+		i, err := strconv.Atoi(num)
+		if err != nil || i < 0 {
+			continue
+		}
+		disks = append(disks, i)
+	}
+	sort.Ints(disks)
+	for _, i := range disks {
+		p := fmt.Sprintf("disk%d_", i)
+		fmt.Fprintf(w, "  disk %d fault counters: %.0f faults, %.0f retries, %.0f remaps, %.0f unrecovered\n",
+			i, last[p+"faults"], last[p+"retries"], last[p+"remaps"], last[p+"unrecovered"])
+	}
 }
 
 func run(ctx context.Context, traceFile, diskName, schedName, policyName, format string, rearrange int) error {

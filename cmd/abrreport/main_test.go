@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// A two-section sampler CSV as abrsim -sample writes for a mixed run:
+// a single-disk job sampling the aggregate fault counters, then a
+// volume job whose fault-injected members sample per-disk counters
+// (member 0 has no fault plan, so only disk1_* columns exist — the
+// indices are not contiguous).
+const mixedCSV = `job,t_ms,queue_depth,faults,retries,remaps,unrecovered
+onoff/system/toshiba,1000,3,2,2,0,0
+onoff/system/toshiba,2000,5,7,8,1,0
+job,t_ms,queue_depth,disk0_qd,disk1_qd,disk1_faults,disk1_retries,disk1_remaps,disk1_unrecovered
+volume/mirror-degraded,1000,4,2,2,1,1,0,0
+volume/mirror-degraded,2000,6,3,3,9,11,2,1
+`
+
+func TestSummarizeTelemetryPerDiskCounters(t *testing.T) {
+	var sb strings.Builder
+	if err := summarizeTelemetry(&sb, strings.NewReader(mixedCSV), "mixed.csv"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	// Both jobs are summarized, each with its own counter lines from its
+	// final sample.
+	for _, want := range []string{
+		"onoff/system/toshiba: queue depth over time",
+		"  fault counters: 7 faults, 8 retries, 1 remaps, 0 unrecovered",
+		"volume/mirror-degraded: queue depth over time",
+		"  disk 1 fault counters: 9 faults, 11 retries, 2 remaps, 1 unrecovered",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n\n%s", want, out)
+		}
+	}
+	// The volume job sampled no aggregate counters and member 0 no
+	// per-disk ones: neither line may be fabricated for them.
+	volPart := out[strings.Index(out, "volume/mirror-degraded"):]
+	if strings.Contains(volPart, "  fault counters:") {
+		t.Errorf("volume job got an aggregate fault line it never sampled\n\n%s", volPart)
+	}
+	if strings.Contains(out, "disk 0 fault counters") {
+		t.Errorf("disk 0 has no fault plan but got a counter line\n\n%s", out)
+	}
+}
+
+func TestSummarizeTelemetryNoFaultColumns(t *testing.T) {
+	const plain = "job,t_ms,queue_depth\nonoff/system/toshiba,1000,3\n"
+	var sb strings.Builder
+	if err := summarizeTelemetry(&sb, strings.NewReader(plain), "plain.csv"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "fault counters") {
+		t.Errorf("fault lines printed for a file without fault columns\n\n%s", sb.String())
+	}
+}

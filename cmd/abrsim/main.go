@@ -28,7 +28,11 @@
 // override the plan's seed and power-loss point. Fault draws are keyed
 // by (seed, operation index), so results stay byte-identical for any
 // -jobs value. The registered "faults" and "crash" experiments use
-// their own built-in plans.
+// their own built-in plans, as does "volume-scale", whose matrix
+// drives the workload over multi-disk logical volumes (striping,
+// mirroring, per-member rearrangement, a mirror with one member
+// killed mid-run); its per-member plans are part of the matrix, so
+// -fault-plan does not apply to it.
 package main
 
 import (

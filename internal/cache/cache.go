@@ -47,11 +47,12 @@ type Config struct {
 	Seed uint64
 }
 
-// Cache is a buffer cache bound to one partition of one driver. Like the
-// rest of the stack it is event-driven and single-threaded.
+// Cache is a buffer cache bound to one partition of one block device —
+// a single driver or a multi-disk volume. Like the rest of the stack it
+// is event-driven and single-threaded.
 type Cache struct {
 	eng  *sim.Engine
-	drv  *driver.Driver
+	drv  driver.BlockDevice
 	part int
 	cfg  Config
 
@@ -76,7 +77,7 @@ type entry struct {
 }
 
 // New returns a cache over the given partition.
-func New(eng *sim.Engine, drv *driver.Driver, part int, cfg Config) *Cache {
+func New(eng *sim.Engine, drv driver.BlockDevice, part int, cfg Config) *Cache {
 	if cfg.CapacityBlocks <= 0 {
 		cfg.CapacityBlocks = 1024
 	}

@@ -15,9 +15,11 @@ import (
 // rewritten (PR 4), and every simulation result the harness emits must
 // stay byte-identical across that rewrite. The specs cover the two
 // experiment families whose numbers the paper's tables quote (table2:
-// on/off, table7: placement policies) plus the two fault-tolerance
+// on/off, table7: placement policies), the two fault-tolerance
 // extensions ("faults", "crash"), whose retry/backoff timing is the
-// most sensitive to event-ordering changes.
+// most sensitive to event-ordering changes, and the multi-disk volume
+// matrix ("volume-scale"), whose fan-out/fan-in ordering across member
+// disks sharing one engine is locked here.
 //
 // Regenerate with UPDATE_EQUIV_GOLDEN=1 go test ./internal/experiment
 // -run TestEngineEquivalenceGolden — but only when an intentional
@@ -31,9 +33,10 @@ func equivOptions() Options {
 	return Options{Days: 2, WindowMS: 30 * 60 * 1000}
 }
 
-// equivSpecs lists the locked experiment ids. "table7" is skipped in
-// -short mode (it simulates the 3x2 policy matrix); the other three
-// always run, including under -race in CI.
+// equivSpecs lists the locked experiment ids. "table7" and
+// "volume-scale" are skipped in -short mode (they simulate the 3x2
+// policy matrix and the 10-configuration volume matrix); the other
+// three always run, including under -race in CI.
 var equivSpecs = []struct {
 	id    string
 	short bool // runs in -short mode too
@@ -42,6 +45,7 @@ var equivSpecs = []struct {
 	{"faults", true},
 	{"crash", true},
 	{"table7", false},
+	{"volume-scale", false},
 }
 
 // renderSpec gathers one spec on the given worker count and renders its

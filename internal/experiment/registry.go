@@ -146,6 +146,7 @@ func init() {
 	registerFigures()
 	registerShared()
 	registerFaults()
+	registerVolume()
 	registerGroups()
 }
 

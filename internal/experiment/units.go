@@ -34,6 +34,10 @@ const (
 	// NeedCrash is the crash-recovery scenario battery on the
 	// crashcheck harness.
 	NeedCrash
+	// NeedVolume is the multi-disk volume scale-out matrix: one run per
+	// volume configuration (disk count, stripe unit, mirror policy,
+	// rearrangement, degraded mirror).
+	NeedVolume
 	needCount
 )
 
@@ -54,6 +58,8 @@ func (n Need) String() string {
 		return "faults"
 	case NeedCrash:
 		return "crash"
+	case NeedVolume:
+		return "volume"
 	}
 	return fmt.Sprintf("need(%d)", int(n))
 }
@@ -69,6 +75,7 @@ type ResultSet struct {
 	Shared   *SharedResult
 	Faults   []FaultPoint
 	Crash    []CrashPoint
+	Volume   []VolumePoint
 
 	// Collectors holds each simulation job's telemetry collector in
 	// job order when Options.Telemetry was set; nil otherwise.
@@ -254,6 +261,8 @@ func needUnits(n Need, o Options) []unit {
 		return faultUnits(o)
 	case NeedCrash:
 		return crashUnits()
+	case NeedVolume:
+		return volumeUnits(o)
 	}
 	panic(fmt.Sprintf("experiment: unknown need %d", int(n)))
 }

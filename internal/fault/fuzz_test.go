@@ -1,0 +1,59 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParsePlan checks two properties over the -fault-plan grammar:
+// ParsePlan never panics on arbitrary input, and any spec it accepts
+// round-trips — rendering the parsed plan with String and parsing that
+// again yields an identical plan. The zero plan renders as "none",
+// which is a display form, not grammar, so it is exempt from re-parse.
+func FuzzParsePlan(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"none",
+		"seed=7",
+		"bad=100-200",
+		"bad=0-1;bad=5000-5008",
+		"tread=0.01",
+		"twrite=0.5",
+		"transient=0.001",
+		"crash-after=4000",
+		"crash-at=bcopy-copy",
+		"crash-at=table-write:3",
+		"seed=9;bad=10-20,tread=0.25;crash-after=1",
+		"seed=18446744073709551615",
+		"bad=9223372036854775806-9223372036854775807",
+		"tread=1e-300",
+		" seed=1 ; bad=2-3 ",
+		"seed=x",
+		"bad=20-10",
+		"transient=1.5",
+		"crash-at=:4",
+		"what=ever",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParsePlan(spec)
+		if err != nil {
+			return // rejected input: no panic is the whole property
+		}
+		s := p.String()
+		if s == "none" {
+			if p.Active() {
+				t.Fatalf("ParsePlan(%q) is active but renders as none", spec)
+			}
+			return
+		}
+		p2, err := ParsePlan(s)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q) accepted, but its rendering %q does not re-parse: %v", spec, s, err)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("round-trip mismatch for %q:\n first: %+v (%q)\nsecond: %+v", spec, p, s, p2)
+		}
+	})
+}

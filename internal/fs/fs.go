@@ -137,7 +137,7 @@ type group struct {
 // FS is a mounted file system instance.
 type FS struct {
 	eng   *sim.Engine
-	drv   *driver.Driver
+	drv   driver.BlockDevice
 	part  int
 	cache *cache.Cache // data blocks
 	meta  *cache.Cache // inode, directory, indirect, descriptor blocks
@@ -159,7 +159,7 @@ type FS struct {
 // empty root directory — the analogue of running newfs and mount. The
 // format writes all metadata through the buffer cache; call Sync (or run
 // the sync daemon) to push it to disk.
-func Newfs(eng *sim.Engine, drv *driver.Driver, part int, prm Params) (*FS, error) {
+func Newfs(eng *sim.Engine, drv driver.BlockDevice, part int, prm Params) (*FS, error) {
 	prm = prm.withDefaults()
 	f, err := prepare(eng, drv, part, prm)
 	if err != nil {
@@ -191,7 +191,7 @@ func Newfs(eng *sim.Engine, drv *driver.Driver, part int, prm Params) (*FS, erro
 }
 
 // prepare builds the FS skeleton shared by Newfs and Mount.
-func prepare(eng *sim.Engine, drv *driver.Driver, part int, prm Params) (*FS, error) {
+func prepare(eng *sim.Engine, drv driver.BlockDevice, part int, prm Params) (*FS, error) {
 	p, err := drv.Label().Partition(part)
 	if err != nil {
 		return nil, err

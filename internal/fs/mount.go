@@ -16,7 +16,7 @@ import (
 // The image must have been flushed (Sync) before the previous instance
 // was abandoned; like a real fixed-layout file system, Mount reads only
 // what is on disk.
-func Mount(eng *sim.Engine, drv *driver.Driver, part int, prm Params, done func(*FS, error)) {
+func Mount(eng *sim.Engine, drv driver.BlockDevice, part int, prm Params, done func(*FS, error)) {
 	fail := func(err error) {
 		eng.After(0, func() {
 			if done != nil {

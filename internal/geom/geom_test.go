@@ -225,3 +225,25 @@ func TestReservedRegionSizesMatchPaper(t *testing.T) {
 		t.Errorf("Fujitsu 80-cylinder reserved region = %.1f MB, want ~50", mb)
 	}
 }
+
+func TestFirstSectorOfCyl(t *testing.T) {
+	g := toshiba()
+	spc := int64(g.SectorsPerCyl())
+	for _, cyl := range []int{0, 1, 47, g.Cylinders - 1} {
+		if got := g.FirstSectorOfCyl(cyl); got != int64(cyl)*spc {
+			t.Errorf("FirstSectorOfCyl(%d) = %d, want %d", cyl, got, int64(cyl)*spc)
+		}
+		if g.CylinderOf(g.FirstSectorOfCyl(cyl)) != cyl {
+			t.Errorf("cylinder %d does not round-trip through its first sector", cyl)
+		}
+	}
+}
+
+func TestBlockSizeBytes(t *testing.T) {
+	if Block8K.Bytes() != 8192 {
+		t.Errorf("Block8K.Bytes() = %d", Block8K.Bytes())
+	}
+	if Block4K.Bytes() != 4096 {
+		t.Errorf("Block4K.Bytes() = %d", Block4K.Bytes())
+	}
+}

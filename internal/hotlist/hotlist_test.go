@@ -231,3 +231,21 @@ func TestTopSortedProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestBoundedReset(t *testing.T) {
+	b := NewBounded(10, ReplaceMin)
+	for i := int64(0); i < 100; i++ {
+		b.Observe(i)
+	}
+	b.Reset()
+	if b.Len() != 0 || b.Replacements() != 0 {
+		t.Errorf("Reset left Len=%d Replacements=%d", b.Len(), b.Replacements())
+	}
+	// The list must keep counting normally after a reset.
+	b.Observe(7)
+	b.Observe(7)
+	top := b.Top(1)
+	if len(top) != 1 || top[0].Block != 7 || top[0].Count != 2 {
+		t.Errorf("post-reset Top = %v", top)
+	}
+}

@@ -26,6 +26,12 @@ type Options struct {
 	// cancelled job winds down promptly instead of simulating to the
 	// horizon. nil means the rig cannot be cancelled.
 	Ctx context.Context
+	// Eng, when non-nil, builds the rig on an existing engine instead of
+	// creating a private one. A multi-disk volume builds one rig per
+	// member on a shared engine so all members advance in one simulated
+	// timeline. The caller owns the engine's interrupt hook; Ctx still
+	// gates construction but is not wired into a shared engine.
+	Eng *sim.Engine
 	// Disk selects the drive model; the zero value selects the Toshiba
 	// MK156F.
 	Disk disk.Model
@@ -93,9 +99,12 @@ func New(opts Options) (*Rig, error) {
 			return nil, err
 		}
 	}
-	eng := sim.NewEngine()
-	if ctx := opts.Ctx; ctx != nil {
-		eng.SetInterrupt(func() bool { return ctx.Err() != nil })
+	eng := opts.Eng
+	if eng == nil {
+		eng = sim.NewEngine()
+		if ctx := opts.Ctx; ctx != nil {
+			eng.SetInterrupt(func() bool { return ctx.Err() != nil })
+		}
 	}
 	dsk, err := disk.New(opts.Disk)
 	if err != nil {

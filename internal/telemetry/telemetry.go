@@ -53,6 +53,14 @@ const (
 type Event struct {
 	Kind Kind
 
+	// Disk tags events of one member disk of a multi-disk volume,
+	// stored 1-based so the zero value means "untagged" (single-disk
+	// stacks). TagDisk sets it; the JSONL encoding emits the 0-based
+	// disk index, and omits the key entirely when untagged so
+	// single-disk streams are byte-identical to before the field
+	// existed.
+	Disk int
+
 	// Write is the request direction (both kinds).
 	Write bool
 
@@ -248,7 +256,28 @@ func AppendJSONL(b []byte, e *Event) []byte {
 	default:
 		b = append(b, `{"k":"unknown"`...)
 	}
+	if e.Disk > 0 {
+		b = append(b, `,"disk":`...)
+		b = strconv.AppendInt(b, int64(e.Disk-1), 10)
+	}
 	return append(b, '}', '\n')
+}
+
+// TagDisk wraps a sink so every event passing through carries the given
+// 0-based disk index. A volume wraps its shared sink once per member so
+// the merged stream stays attributable. The tag is restored to the
+// event's prior value after the inner sink returns, because emitters
+// reuse one Event value across sinks.
+func TagDisk(disk int, s Sink) Sink {
+	if s == nil {
+		return nil
+	}
+	return SinkFunc(func(e *Event) {
+		prev := e.Disk
+		e.Disk = disk + 1
+		s.Event(e)
+		e.Disk = prev
+	})
 }
 
 func appendFloat(b []byte, v float64) []byte {

@@ -253,3 +253,32 @@ func TestContext(t *testing.T) {
 		t.Error("FromContext did not return the injected collector")
 	}
 }
+
+// TagDisk stamps the member index into events passing through it (the
+// volume layer wraps each member's sink this way), restores the event
+// afterwards (emitters reuse one Event struct), and the "disk" JSONL
+// key appears only on tagged events so single-disk traces are
+// byte-identical to before the field existed.
+func TestTagDiskJSONL(t *testing.T) {
+	if TagDisk(3, nil) != nil {
+		t.Error("TagDisk of a nil sink should be nil")
+	}
+	e := reqEvent()
+	var tagged []byte
+	sink := TagDisk(3, SinkFunc(func(e *Event) { tagged = AppendJSONL(nil, e) }))
+	sink.Event(e)
+	if e.Disk != 0 {
+		t.Errorf("event not restored after tagging: Disk = %d", e.Disk)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(bytes.TrimSuffix(tagged, []byte("\n")), &m); err != nil {
+		t.Fatalf("tagged line is not JSON: %v\n%s", err, tagged)
+	}
+	if m["disk"] != 3.0 {
+		t.Errorf(`tagged line "disk" = %v, want 3`, m["disk"])
+	}
+	untagged := AppendJSONL(nil, e)
+	if bytes.Contains(untagged, []byte("disk")) {
+		t.Errorf("untagged line carries a disk key: %s", untagged)
+	}
+}

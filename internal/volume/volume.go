@@ -1,0 +1,536 @@
+// Package volume implements a logical volume manager over N simulated
+// disks. Each member is a full single-disk stack — its own disk model,
+// SCAN queue, block table, fault injector, and (optionally) adaptive
+// rearrangement — and the volume composes them behind the same
+// driver.BlockDevice interface a single driver presents, so the file
+// system, buffer cache, and workloads run unchanged on one spindle or
+// eight.
+//
+// Three layouts are supported:
+//
+//   - concat: members are appended; logical block b lives on the first
+//     member whose cumulative size exceeds b.
+//   - stripe: logical blocks are distributed round-robin in stripe
+//     units of a fixed number of blocks, RAID-0 style.
+//   - mirror: every member holds a full replica, RAID-1 style. Writes
+//     fan out to all live members; reads pick one live member by the
+//     configured balancing policy and fail over to the others on error.
+//
+// All members share one event engine, so a volume advances in a single
+// simulated timeline and the fan-out/fan-in of mirror requests is fully
+// deterministic: member completions are ordered by simulated time, and
+// tie-breaks follow the engine's fixed event ordering. Running the same
+// volume under any number of harness jobs yields byte-identical output.
+//
+// Degraded operation: a member whose driver has died (fault plan crash)
+// is skipped by mirror reads and writes; the volume request succeeds as
+// long as one replica remains. On concat and stripe there is no
+// redundancy, so a dead member fails the volume request with the
+// member's ErrDead.
+package volume
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/disk"
+	"repro/internal/driver"
+	"repro/internal/fault"
+	"repro/internal/geom"
+	"repro/internal/label"
+	"repro/internal/rig"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Layout selects how logical blocks map onto the members.
+type Layout string
+
+const (
+	// Concat appends the members into one address space.
+	Concat Layout = "concat"
+	// Stripe distributes stripe units round-robin across the members.
+	Stripe Layout = "stripe"
+	// Mirror replicates every block on every member.
+	Mirror Layout = "mirror"
+)
+
+// ReadPolicy selects how a mirror balances reads across live members.
+type ReadPolicy string
+
+const (
+	// RoundRobin rotates reads across live members in index order.
+	RoundRobin ReadPolicy = "round-robin"
+	// ShortestQueue sends each read to the live member with the fewest
+	// requests queued or in service, breaking ties by member index.
+	ShortestQueue ReadPolicy = "shortest-queue"
+)
+
+// DefaultStripeUnit is the stripe unit, in file system blocks, when
+// Options.StripeUnit is zero: 16 blocks (128 KB of 8 KB blocks).
+const DefaultStripeUnit = 16
+
+// Options configures a volume.
+type Options struct {
+	// Ctx, when non-nil, cancels the shared engine once done.
+	Ctx context.Context
+	// Layout selects concat, stripe, or mirror; the zero value selects
+	// concat.
+	Layout Layout
+	// Disks is the member count; zero selects 1. Mirror needs at least 2.
+	Disks int
+	// StripeUnit is the stripe unit in blocks (stripe layout only);
+	// zero selects DefaultStripeUnit.
+	StripeUnit int
+	// ReadPolicy balances mirror reads; the zero value selects
+	// round-robin.
+	ReadPolicy ReadPolicy
+	// Disk selects the member drive model; the zero value selects the
+	// Toshiba MK156F. All members use the same model.
+	Disk disk.Model
+	// ReservedCyls hides this many middle cylinders of every member as
+	// its reserved region, enabling per-member adaptive rearrangement.
+	ReservedCyls int
+	// BlockSize is the file system block size; zero selects 8 KB.
+	BlockSize geom.BlockSize
+	// Sched is the per-member head-scheduling policy; nil selects SCAN.
+	Sched sched.Scheduler
+	// RequestTableSize overrides each member driver's monitoring table.
+	RequestTableSize int
+	// Faults lists per-member fault plans by member index; a short list
+	// (or nil entries) leaves the remaining members fault-free.
+	Faults []*fault.Plan
+	// Telemetry, when non-nil and capturing spans, receives every
+	// member's request lifecycle stream, tagged with the member's disk
+	// index via telemetry.TagDisk.
+	Telemetry *telemetry.Collector
+}
+
+// Stats are volume-level request statistics, accumulated since the last
+// ResetStats.
+type Stats struct {
+	// Requests, Reads and Writes count volume-level block requests.
+	Requests int64
+	Reads    int64
+	Writes   int64
+	// RespMSSum accumulates volume-level response times (request entry
+	// to fan-in completion) in simulated milliseconds; RespMSSum /
+	// Requests is the mean response time.
+	RespMSSum float64
+	// Errors counts volume requests that completed with an error.
+	Errors int64
+	// Degraded counts mirror requests served with at least one member
+	// dead.
+	Degraded int64
+	// PerDisk counts member operations issued, by member index. A
+	// mirror write increments every live member's slot.
+	PerDisk []int64
+}
+
+// Volume is a logical volume over member rigs. Like the rest of the
+// stack it is event-driven and single-threaded on its engine.
+type Volume struct {
+	// Eng is the engine shared by every member.
+	Eng *sim.Engine
+	// Members are the per-disk stacks, in disk-index order. Callers
+	// may attach rearrangers or read per-member counters, but must not
+	// issue raw I/O that bypasses the volume's address map.
+	Members []*rig.Rig
+
+	layout Layout
+	unit   int64
+	policy ReadPolicy
+	bs     geom.BlockSize
+	lbl    *label.Label
+	ctx    context.Context
+
+	blocks int64   // logical volume size in blocks
+	sizes  []int64 // usable blocks per member under this layout
+	cum    []int64 // concat: cumulative start block per member
+	rr     int     // round-robin read cursor
+
+	stats Stats
+}
+
+// Volume is a BlockDevice: fs and cache mount it like a single disk.
+var _ driver.BlockDevice = (*Volume)(nil)
+
+// New builds a volume: one rig per member on a shared engine, plus the
+// logical address map and a synthetic label describing the volume's
+// single partition.
+func New(opts Options) (*Volume, error) {
+	if opts.Disks <= 0 {
+		opts.Disks = 1
+	}
+	if opts.Layout == "" {
+		opts.Layout = Concat
+	}
+	switch opts.Layout {
+	case Concat, Stripe, Mirror:
+	default:
+		return nil, fmt.Errorf("volume: unknown layout %q", opts.Layout)
+	}
+	if opts.Layout == Mirror && opts.Disks < 2 {
+		return nil, fmt.Errorf("volume: mirror needs at least 2 disks, got %d", opts.Disks)
+	}
+	if opts.StripeUnit <= 0 {
+		opts.StripeUnit = DefaultStripeUnit
+	}
+	if opts.ReadPolicy == "" {
+		opts.ReadPolicy = RoundRobin
+	}
+	switch opts.ReadPolicy {
+	case RoundRobin, ShortestQueue:
+	default:
+		return nil, fmt.Errorf("volume: unknown read policy %q", opts.ReadPolicy)
+	}
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+
+	eng := sim.NewEngine()
+	if ctx := opts.Ctx; ctx != nil {
+		eng.SetInterrupt(func() bool { return ctx.Err() != nil })
+	}
+
+	v := &Volume{
+		Eng:    eng,
+		layout: opts.Layout,
+		unit:   int64(opts.StripeUnit),
+		policy: opts.ReadPolicy,
+		ctx:    opts.Ctx,
+	}
+	v.stats.PerDisk = make([]int64, opts.Disks)
+	for i := 0; i < opts.Disks; i++ {
+		var plan *fault.Plan
+		if i < len(opts.Faults) {
+			plan = opts.Faults[i]
+		}
+		m, err := rig.New(rig.Options{
+			Eng:              eng,
+			Disk:             opts.Disk,
+			ReservedCyls:     opts.ReservedCyls,
+			BlockSize:        opts.BlockSize,
+			Sched:            opts.Sched,
+			RequestTableSize: opts.RequestTableSize,
+			Fault:            plan,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("volume: member %d: %w", i, err)
+		}
+		if opts.Telemetry != nil && opts.Telemetry.SpansEnabled() {
+			m.Driver.SetSink(telemetry.TagDisk(i, opts.Telemetry))
+		}
+		v.Members = append(v.Members, m)
+	}
+	v.bs = v.Members[0].Driver.BlockSize()
+
+	// The usable size per member and the logical size follow from the
+	// layout. Members are identical models, but sizing from the actual
+	// partitions keeps the map correct if that ever changes.
+	min := v.Members[0].PartitionBlocks(0)
+	for _, m := range v.Members[1:] {
+		if n := m.PartitionBlocks(0); n < min {
+			min = n
+		}
+	}
+	switch v.layout {
+	case Concat:
+		var total int64
+		for _, m := range v.Members {
+			n := m.PartitionBlocks(0)
+			v.cum = append(v.cum, total)
+			v.sizes = append(v.sizes, n)
+			total += n
+		}
+		v.blocks = total
+	case Stripe:
+		per := min / v.unit * v.unit
+		if per == 0 {
+			return nil, fmt.Errorf("volume: stripe unit %d larger than member (%d blocks)", v.unit, min)
+		}
+		for range v.Members {
+			v.sizes = append(v.sizes, per)
+		}
+		v.blocks = per * int64(len(v.Members))
+	case Mirror:
+		for range v.Members {
+			v.sizes = append(v.sizes, min)
+		}
+		v.blocks = min
+	}
+
+	lbl, err := v.makeLabel()
+	if err != nil {
+		return nil, err
+	}
+	v.lbl = lbl
+	return v, nil
+}
+
+// makeLabel builds the synthetic in-memory label presented to the file
+// system: the member geometry widened (or narrowed) to as many
+// cylinders as the logical space needs, with one partition covering
+// every logical block. It is never written to any disk — each member
+// keeps its own on-disk label — it only tells the file system how big
+// the device is and how long a "cylinder" is for allocation locality.
+func (v *Volume) makeLabel() (*label.Label, error) {
+	g := v.Members[0].Label.VirtualGeom()
+	bsec := int64(v.bs.Sectors())
+	sectors := v.blocks * bsec
+	spc := int64(g.SectorsPerCyl())
+	cyls := (sectors + spc - 1) / spc
+	g.Cylinders = int(cyls)
+	lbl := label.New(fmt.Sprintf("vol-%s-%d", v.layout, len(v.Members)), g)
+	if _, err := lbl.AddPartition(0, sectors, label.TagFS); err != nil {
+		return nil, err
+	}
+	return lbl, nil
+}
+
+// BlockSize implements driver.BlockDevice.
+func (v *Volume) BlockSize() geom.BlockSize { return v.bs }
+
+// Label implements driver.BlockDevice.
+func (v *Volume) Label() *label.Label { return v.lbl }
+
+// Blocks returns the logical volume size in blocks.
+func (v *Volume) Blocks() int64 { return v.blocks }
+
+// Layout returns the volume's layout.
+func (v *Volume) Layout() Layout { return v.layout }
+
+// DeadMembers returns how many members have died.
+func (v *Volume) DeadMembers() int {
+	var n int
+	for _, m := range v.Members {
+		if m.Driver.Dead() {
+			n++
+		}
+	}
+	return n
+}
+
+// Err returns the volume's cancellation cause, as rig.Err does.
+func (v *Volume) Err() error {
+	if v.ctx == nil {
+		return nil
+	}
+	return v.ctx.Err()
+}
+
+// Stats returns a snapshot of the volume-level statistics.
+func (v *Volume) Stats() Stats {
+	s := v.stats
+	s.PerDisk = append([]int64(nil), v.stats.PerDisk...)
+	return s
+}
+
+// ResetStats clears the volume-level statistics (member drivers keep
+// their own counters).
+func (v *Volume) ResetStats() {
+	per := v.stats.PerDisk
+	for i := range per {
+		per[i] = 0
+	}
+	v.stats = Stats{PerDisk: per}
+}
+
+// locate maps a logical block to (member index, member-relative block)
+// for the concat and stripe layouts.
+func (v *Volume) locate(blk int64) (int, int64) {
+	switch v.layout {
+	case Stripe:
+		su := blk / v.unit
+		n := int64(len(v.Members))
+		return int(su % n), (su/n)*v.unit + blk%v.unit
+	default: // Concat
+		i := len(v.cum) - 1
+		for i > 0 && blk < v.cum[i] {
+			i--
+		}
+		return i, blk - v.cum[i]
+	}
+}
+
+// check validates the partition and block of a volume request.
+func (v *Volume) check(part int, blk int64) error {
+	if part != 0 {
+		_, err := v.lbl.Partition(part)
+		if err == nil {
+			err = fmt.Errorf("volume: no partition %d", part)
+		}
+		return err
+	}
+	if blk < 0 || blk >= v.blocks {
+		return fmt.Errorf("%w: block %d of volume (%d blocks)", driver.ErrBadBlock, blk, v.blocks)
+	}
+	return nil
+}
+
+// fail reports an error asynchronously, preserving the rule that
+// completion callbacks never run inside the issuing call.
+func (v *Volume) fail(done driver.DoneFunc, err error) {
+	v.stats.Errors++
+	v.Eng.After(0, func() {
+		if done != nil {
+			done(nil, err)
+		}
+	})
+}
+
+// finish wraps a request's done callback with response-time accounting.
+func (v *Volume) finish(start float64, done driver.DoneFunc) driver.DoneFunc {
+	return func(data []byte, err error) {
+		v.stats.RespMSSum += v.Eng.Now() - start
+		if err != nil {
+			v.stats.Errors++
+		}
+		if done != nil {
+			done(data, err)
+		}
+	}
+}
+
+// ReadBlock implements driver.BlockDevice: it reads one logical block
+// of the volume. done fires at fan-in completion in simulated time.
+func (v *Volume) ReadBlock(part int, blk int64, done driver.DoneFunc) {
+	if err := v.check(part, blk); err != nil {
+		v.fail(done, err)
+		return
+	}
+	v.stats.Requests++
+	v.stats.Reads++
+	start := v.Eng.Now()
+	if v.layout != Mirror {
+		i, mblk := v.locate(blk)
+		v.stats.PerDisk[i]++
+		v.Members[i].Driver.ReadBlock(0, mblk, v.finish(start, done))
+		return
+	}
+	order := v.readOrder()
+	if len(order) == 0 {
+		v.fail(done, fmt.Errorf("volume: every mirror member is dead: %w", driver.ErrDead))
+		return
+	}
+	if len(order) < len(v.Members) {
+		v.stats.Degraded++
+	}
+	fin := v.finish(start, done)
+	var try func(k int)
+	try = func(k int) {
+		i := order[k]
+		v.stats.PerDisk[i]++
+		v.Members[i].Driver.ReadBlock(0, blk, func(data []byte, err error) {
+			if err != nil && k+1 < len(order) {
+				// Fail over to the next replica; the dead or erroring
+				// member is out of rotation once Dead() reports it.
+				v.stats.Degraded++
+				try(k + 1)
+				return
+			}
+			fin(data, err)
+		})
+	}
+	try(0)
+}
+
+// readOrder returns the member indices a mirror read should try, best
+// candidate first, per the balancing policy. Only live members appear.
+func (v *Volume) readOrder() []int {
+	n := len(v.Members)
+	order := make([]int, 0, n)
+	switch v.policy {
+	case ShortestQueue:
+		for i, m := range v.Members {
+			if !m.Driver.Dead() {
+				order = append(order, i)
+			}
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			qa := v.Members[order[a]].Driver.Outstanding()
+			qb := v.Members[order[b]].Driver.Outstanding()
+			if qa != qb {
+				return qa < qb
+			}
+			return order[a] < order[b]
+		})
+	default: // RoundRobin
+		first := v.rr % n
+		v.rr++
+		for j := 0; j < n; j++ {
+			i := (first + j) % n
+			if !v.Members[i].Driver.Dead() {
+				order = append(order, i)
+			}
+		}
+	}
+	return order
+}
+
+// WriteBlock implements driver.BlockDevice: it writes one logical block
+// of the volume. On a mirror the write fans out to every live member
+// and done fires when the last member completes; the volume write
+// succeeds if at least one replica was written.
+func (v *Volume) WriteBlock(part int, blk int64, data []byte, done driver.DoneFunc) {
+	if err := v.check(part, blk); err != nil {
+		v.fail(done, err)
+		return
+	}
+	if len(data) != v.bs.Bytes() {
+		v.fail(done, fmt.Errorf("volume: write of %d bytes, block size is %d", len(data), v.bs.Bytes()))
+		return
+	}
+	v.stats.Requests++
+	v.stats.Writes++
+	start := v.Eng.Now()
+	if v.layout != Mirror {
+		i, mblk := v.locate(blk)
+		v.stats.PerDisk[i]++
+		v.Members[i].Driver.WriteBlock(0, mblk, data, v.finish(start, done))
+		return
+	}
+	var targets []int
+	for i, m := range v.Members {
+		if !m.Driver.Dead() {
+			targets = append(targets, i)
+		}
+	}
+	if len(targets) == 0 {
+		v.fail(done, fmt.Errorf("volume: every mirror member is dead: %w", driver.ErrDead))
+		return
+	}
+	if len(targets) < len(v.Members) {
+		v.stats.Degraded++
+	}
+	fin := v.finish(start, done)
+	pending := len(targets)
+	var wrote int
+	var firstErr error
+	for _, i := range targets {
+		v.stats.PerDisk[i]++
+		// Members may not mutate or retain the buffer (the cache hands
+		// its own copy to WriteThroughOwned under the same contract),
+		// so all replicas share one data slice.
+		v.Members[i].Driver.WriteBlock(0, blk, data, func(_ []byte, err error) {
+			if err == nil {
+				wrote++
+			} else if firstErr == nil {
+				firstErr = err
+			}
+			pending--
+			if pending > 0 {
+				return
+			}
+			if wrote > 0 {
+				fin(nil, nil)
+			} else {
+				fin(nil, firstErr)
+			}
+		})
+	}
+}
