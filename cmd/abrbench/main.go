@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	abrbench [-out BENCH_sim.json] [-baseline FILE] [-check] [-reps N] [-jobs N]
+//	abrbench [-out BENCH_sim.json] [-baseline FILE] [-check] [-reps N] [-jobs N] [-shard N]
 //
 // It runs a fixed subset of the experiment registry (the same
 // simulations abrsim runs, compressed) through the parallel runner,
@@ -16,7 +16,8 @@
 //	  "go": "go1.24.0",
 //	  "benchmarks": [
 //	    {
-//	      "name": "table2",            experiment id
+//	      "name": "table2",            benchmark name
+//	      "shards": 4,                 engine shards per volume (sharded rows only)
 //	      "sim_days": 4,               simulated days covered
 //	      "wall_ns": 2947000000,       best wall clock for the whole run
 //	      "ns_per_sim_day": 736750000, wall_ns / sim_days
@@ -56,32 +57,44 @@ import (
 // so the full battery runs in well under a CI minute while still
 // dispatching tens of millions of events.
 type bench struct {
+	// name is the benchmark's stable identity in the JSON (what -check
+	// matches against the baseline); id is the experiment registry id.
+	name string
 	id   string
 	opts experiment.Options
 }
 
-func benches() []bench {
+func benches(shard int) []bench {
 	return []bench{
 		// The paper's core experiment: alternating off/on days of the
 		// system workload on both disks.
-		{id: "table2", opts: experiment.Options{Days: 2, WindowMS: 1 * workload.HourMS}},
+		{name: "table2", id: "table2", opts: experiment.Options{Days: 2, WindowMS: 1 * workload.HourMS}},
 		// The users file system: write-heavy, NFS write-through, daily
 		// drift — the cache/fs write path dominates.
-		{id: "table5", opts: experiment.Options{Days: 2, WindowMS: 1 * workload.HourMS}},
+		{name: "table5", id: "table5", opts: experiment.Options{Days: 2, WindowMS: 1 * workload.HourMS}},
 		// Fault-tolerant mode: retries, remaps and dual-slot table
 		// writes on the hot path.
-		{id: "faults", opts: experiment.Options{Days: 2, WindowMS: 30 * 60 * 1000}},
+		{name: "faults", id: "faults", opts: experiment.Options{Days: 2, WindowMS: 30 * 60 * 1000}},
 		// The multi-disk volume matrix: fan-out/fan-in across member
 		// engines sharing one event queue, up to 8 spindles. Its
 		// per-configuration throughputs ride along in the JSON so the
 		// scale-out claim (4-disk stripe beats one disk) is recorded.
-		{id: "volume-scale", opts: experiment.Options{Days: 2, WindowMS: 15 * 60 * 1000}},
+		{name: "volume-scale", id: "volume-scale", opts: experiment.Options{Days: 2, WindowMS: 15 * 60 * 1000}},
+		// The same matrix with every volume member on a private engine
+		// shard (sim.Coordinator), recording events/sec per shard count
+		// next to the single-engine row above. Event counts are
+		// identical between the two by the exact-merge contract.
+		{name: "volume-scale-sharded", id: "volume-scale",
+			opts: experiment.Options{Days: 2, WindowMS: 15 * 60 * 1000, Shards: shard}},
 	}
 }
 
 // Result is one benchmark measurement as serialized into the JSON file.
 type Result struct {
-	Name         string  `json:"name"`
+	Name string `json:"name"`
+	// Shards is the engine shard count per volume (0 = one shared
+	// engine); recorded so the sharded rows are self-describing.
+	Shards       int     `json:"shards,omitempty"`
 	SimDays      float64 `json:"sim_days"`
 	WallNS       int64   `json:"wall_ns"`
 	NSPerSimDay  int64   `json:"ns_per_sim_day"`
@@ -118,10 +131,11 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional events_per_sec regression before -check fails")
 	reps := flag.Int("reps", 2, "repetitions per benchmark; the best is recorded")
 	jobs := flag.Int("jobs", 0, "parallel simulation jobs per run (0 = GOMAXPROCS)")
+	shard := flag.Int("shard", 4, "engine shards per volume in the sharded volume benchmark")
 	flag.Parse()
 
 	f := File{Schema: 1, Go: runtime.Version()}
-	for _, b := range benches() {
+	for _, b := range benches(*shard) {
 		r, err := runBench(b, *reps, *jobs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "abrbench: %s: %v\n", b.id, err)
@@ -156,7 +170,7 @@ func main() {
 // repetition. The event count is deterministic across repetitions; the
 // wall clock (and so events/sec) is what best-of smooths.
 func runBench(b bench, reps, jobs int) (Result, error) {
-	best := Result{Name: b.id}
+	best := Result{Name: b.name}
 	for i := 0; i < reps; i++ {
 		o := b.opts
 		o.Jobs = jobs
@@ -182,7 +196,8 @@ func runBench(b bench, reps, jobs int) (Result, error) {
 			simDays += m.Units
 		}
 		r := Result{
-			Name:    b.id,
+			Name:    b.name,
+			Shards:  b.opts.Shards,
 			SimDays: simDays,
 			WallNS:  wall.Nanoseconds(),
 			Events:  events,

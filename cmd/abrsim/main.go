@@ -58,6 +58,7 @@ func main() {
 	hours := flag.Float64("hours", 0, "measured hours per day (0 = the paper's 15)")
 	seed := flag.Uint64("seed", 0, "workload seed (0 = default)")
 	jobs := flag.Int("jobs", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
+	shard := flag.Int("shard", 0, "run volume members on private engine shards when > 1 (output is byte-identical to -shard=1)")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 	traceFile := flag.String("trace", "", "write request-lifecycle spans as JSONL to this file")
 	sample := flag.Duration("sample", 0, "telemetry sampling period in sim time (0 = off)")
@@ -69,7 +70,7 @@ func main() {
 	flag.Usage = usage
 	flag.Parse()
 
-	o := experiment.Options{Days: *days, Seed: *seed, Jobs: *jobs}
+	o := experiment.Options{Days: *days, Seed: *seed, Jobs: *jobs, Shards: *shard}
 	plan, err := buildFaultPlan(*faultPlan, *faultSeed, *crashAfter)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "abrsim:", err)

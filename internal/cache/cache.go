@@ -67,7 +67,66 @@ type Cache struct {
 	syncSeq int
 	rnd     *sim.Rand
 
+	// free heads the pool of zero-delay completion records (see
+	// delivery). Single-threaded like the rest of the cache.
+	free *delivery
+
 	hits, misses, writebacks int64
+}
+
+// delivery is a pooled zero-delay completion event. Cache hits and
+// write acknowledgements outnumber every other event in the stack, and
+// each used to allocate a fresh closure for its After(0); finished
+// records go back on the cache's free list and are rescheduled through
+// sim.AfterCall instead. At most one of read and write is set.
+type delivery struct {
+	c     *Cache
+	next  *delivery
+	data  []byte
+	read  func([]byte, error)
+	write func(error)
+}
+
+// Call fires the deferred completion. The record returns to the pool
+// before the callback runs, so the callback can issue new cache
+// operations that reuse it.
+func (d *delivery) Call() {
+	c, data, read, write := d.c, d.data, d.read, d.write
+	d.data, d.read, d.write = nil, nil, nil
+	d.next, c.free = c.free, d
+	switch {
+	case read != nil:
+		read(data, nil)
+	case write != nil:
+		write(nil)
+	}
+}
+
+// deliverRead schedules done(data, nil) as a zero-delay event without
+// allocating. A nil done still fires an (empty) event, keeping the
+// engine's event and sequence streams identical either way.
+func (c *Cache) deliverRead(data []byte, done func([]byte, error)) {
+	d := c.free
+	if d == nil {
+		d = &delivery{c: c}
+	} else {
+		c.free = d.next
+	}
+	d.data, d.read = data, done
+	c.eng.AfterCall(0, d)
+}
+
+// deliverWrite schedules done(nil) as a zero-delay event without
+// allocating.
+func (c *Cache) deliverWrite(done func(error)) {
+	d := c.free
+	if d == nil {
+		d = &delivery{c: c}
+	} else {
+		c.free = d.next
+	}
+	d.write = done
+	c.eng.AfterCall(0, d)
 }
 
 type entry struct {
@@ -139,12 +198,7 @@ func (c *Cache) Read(block int64, done func(data []byte, err error)) {
 	if el, ok := c.entries[block]; ok {
 		c.hits++
 		c.lru.MoveToFront(el)
-		data := el.Value.(*entry).data
-		c.eng.After(0, func() {
-			if done != nil {
-				done(data, nil)
-			}
-		})
+		c.deliverRead(el.Value.(*entry).data, done)
 		return
 	}
 	if waiters, ok := c.inflight[block]; ok {
@@ -209,11 +263,7 @@ func (c *Cache) WriteOwned(block int64, data []byte, done func(err error)) {
 	} else {
 		c.insert(block, data, true)
 	}
-	c.eng.After(0, func() {
-		if done != nil {
-			done(nil)
-		}
-	})
+	c.deliverWrite(done)
 }
 
 // WriteThrough updates the block in the cache (kept clean) and writes it
@@ -309,11 +359,7 @@ func (c *Cache) Sync(done func(err error)) {
 		}
 	}
 	if len(dirty) == 0 {
-		c.eng.After(0, func() {
-			if done != nil {
-				done(nil)
-			}
-		})
+		c.deliverWrite(done)
 		return
 	}
 	remaining := len(dirty)

@@ -326,3 +326,39 @@ func TestPressureSparesDirtyBlocks(t *testing.T) {
 	}
 	c.StopSyncDaemon()
 }
+
+// The hit and deferred-write paths are the hottest events in the whole
+// stack — one zero-delay delivery each — and their completion records
+// are pooled (see delivery). Steady state must stay allocation-free;
+// a regression here multiplies across every simulated file operation.
+
+func TestReadHitZeroAllocs(t *testing.T) {
+	r, c := newRig(t)
+	c.Read(10, nil) // prime: miss brings the block in
+	r.Eng.Run()
+	op := func() {
+		c.Read(10, func([]byte, error) {})
+		r.Eng.Run()
+	}
+	for i := 0; i < 16; i++ {
+		op()
+	}
+	if n := testing.AllocsPerRun(200, op); n != 0 {
+		t.Errorf("cached read round trip: %v allocs, want 0", n)
+	}
+}
+
+func TestDeferredWriteZeroAllocs(t *testing.T) {
+	r, c := newRig(t)
+	data := block(r, 0xCD)
+	op := func() {
+		c.WriteOwned(5, data, func(error) {})
+		r.Eng.Run()
+	}
+	for i := 0; i < 16; i++ {
+		op()
+	}
+	if n := testing.AllocsPerRun(200, op); n != 0 {
+		t.Errorf("deferred write round trip: %v allocs, want 0", n)
+	}
+}

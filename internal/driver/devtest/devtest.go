@@ -1,0 +1,278 @@
+// Package devtest exercises implementations of driver.BlockDevice
+// against the interface's contract, in the style of testing/fstest: an
+// implementation package builds a Harness around its device and calls
+// TestDevice to run the battery of conformance subtests.
+//
+// The battery pins the parts of the contract that are easy to violate
+// from inside a new implementation and hard to debug from above it:
+//
+//   - geometry: BlockSize is positive, the label exists, and partition
+//     0 covers every addressable block;
+//   - data: writes of exactly one block are durable and read back
+//     byte-identical, blocks do not alias one another, and reads
+//     deliver exactly one block of data;
+//   - bounds: out-of-range blocks fail with driver.ErrBadBlock, bad
+//     partitions fail, and neither is delivered synchronously;
+//   - write sizing: any length other than exactly one block fails;
+//   - asynchrony: no completion callback — success or error — ever
+//     runs inside the issuing call;
+//   - death: after the harness's Kill hook, requests either fail with
+//     driver.ErrDead (unwrapping to fault.ErrCrash) or, for redundant
+//     devices, keep succeeding with the data intact.
+package devtest
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/fault"
+)
+
+// Harness is one device under test plus the hooks devtest needs to
+// drive it. Builders return a fresh harness per subtest, so subtests
+// are independent and destructive hooks cannot leak state.
+type Harness struct {
+	// Dev is the device under test.
+	Dev driver.BlockDevice
+	// Run drives the device's simulation until quiescence; every
+	// completion callback of previously issued requests has fired when
+	// it returns.
+	Run func()
+	// Blocks is the number of addressable blocks of partition 0.
+	Blocks int64
+	// Kill, when non-nil, makes part of the device dead: the whole
+	// device for a single disk, one member for a volume. It is called
+	// only when the harness was built with kill=true, and may issue
+	// (and discard) sacrificial requests to trip a fault plan. A nil
+	// Kill skips the death subtests.
+	Kill func()
+	// DeadBlock is a block whose requests reach the part Kill killed.
+	DeadBlock int64
+	// DeadIsFatal reports the device's death semantics: true when
+	// requests to DeadBlock must fail with driver.ErrDead after Kill
+	// (single disk, concat, stripe), false when the device must keep
+	// serving them (mirror).
+	DeadIsFatal bool
+}
+
+// Builder constructs a fresh device harness. kill is true when the
+// subtest will invoke the Kill hook, so builders only wire destructive
+// fault plans into harnesses whose other behavior no subtest depends
+// on.
+type Builder func(t *testing.T, kill bool) *Harness
+
+// TestDevice runs the conformance battery against the devices build
+// produces.
+func TestDevice(t *testing.T, build Builder) {
+	t.Run("geometry", func(t *testing.T) { testGeometry(t, build(t, false)) })
+	t.Run("readback", func(t *testing.T) { testReadback(t, build(t, false)) })
+	t.Run("write-sizing", func(t *testing.T) { testWriteSizing(t, build(t, false)) })
+	t.Run("bounds", func(t *testing.T) { testBounds(t, build(t, false)) })
+	t.Run("async-completion", func(t *testing.T) { testAsync(t, build(t, false)) })
+	t.Run("dead", func(t *testing.T) {
+		h := build(t, true)
+		if h.Kill == nil {
+			t.Skip("harness has no kill hook")
+		}
+		testDead(t, h)
+	})
+}
+
+// write issues one block write and drives the simulation to its
+// completion.
+func (h *Harness) write(t *testing.T, blk int64, data []byte) error {
+	t.Helper()
+	var res error
+	fired := false
+	h.Dev.WriteBlock(0, blk, data, func(_ []byte, err error) { res, fired = err, true })
+	h.Run()
+	if !fired {
+		t.Fatalf("write of block %d never completed", blk)
+	}
+	return res
+}
+
+// read issues one block read and drives the simulation to its
+// completion.
+func (h *Harness) read(t *testing.T, blk int64) ([]byte, error) {
+	t.Helper()
+	var data []byte
+	var res error
+	fired := false
+	h.Dev.ReadBlock(0, blk, func(d []byte, err error) { data, res, fired = d, err, true })
+	h.Run()
+	if !fired {
+		t.Fatalf("read of block %d never completed", blk)
+	}
+	return data, res
+}
+
+// block builds one block-sized buffer filled with b.
+func (h *Harness) block(b byte) []byte {
+	return bytes.Repeat([]byte{b}, h.Dev.BlockSize().Bytes())
+}
+
+func testGeometry(t *testing.T, h *Harness) {
+	bs := h.Dev.BlockSize()
+	if bs.Bytes() <= 0 || bs.Sectors() <= 0 {
+		t.Fatalf("BlockSize %v has non-positive size", bs)
+	}
+	if h.Blocks <= 0 {
+		t.Fatalf("harness reports %d addressable blocks", h.Blocks)
+	}
+	lbl := h.Dev.Label()
+	if lbl == nil {
+		t.Fatal("Label() = nil")
+	}
+	p, err := lbl.Partition(0)
+	if err != nil {
+		t.Fatalf("no partition 0: %v", err)
+	}
+	if want := h.Blocks * int64(bs.Sectors()); p.Size < want {
+		t.Fatalf("partition 0 holds %d sectors, need %d for %d blocks",
+			p.Size, want, h.Blocks)
+	}
+}
+
+func testReadback(t *testing.T, h *Harness) {
+	// Three spread-out blocks with distinct patterns: aliasing between
+	// members (a bad locate) or between neighbor blocks (a bad sector
+	// translation) surfaces as cross-contamination.
+	blks := []int64{0, h.Blocks / 2, h.Blocks - 1}
+	for i, blk := range blks {
+		if err := h.write(t, blk, h.block(byte(0xA0+i))); err != nil {
+			t.Fatalf("write block %d: %v", blk, err)
+		}
+	}
+	for i, blk := range blks {
+		got, err := h.read(t, blk)
+		if err != nil {
+			t.Fatalf("read block %d: %v", blk, err)
+		}
+		if len(got) != h.Dev.BlockSize().Bytes() {
+			t.Fatalf("read block %d delivered %d bytes, want one block (%d)",
+				blk, len(got), h.Dev.BlockSize().Bytes())
+		}
+		if want := h.block(byte(0xA0 + i)); !bytes.Equal(got, want) {
+			t.Fatalf("read block %d: data differs from what was written (got %#x... want %#x...)",
+				blk, got[0], want[0])
+		}
+	}
+}
+
+func testWriteSizing(t *testing.T, h *Harness) {
+	short := h.block(1)[:h.Dev.BlockSize().Bytes()-1]
+	if err := h.write(t, 0, short); err == nil {
+		t.Error("short write accepted")
+	}
+	long := append(h.block(1), 0)
+	if err := h.write(t, 0, long); err == nil {
+		t.Error("long write accepted")
+	}
+	if err := h.write(t, 0, nil); err == nil {
+		t.Error("nil-buffer write accepted")
+	}
+	// Sizing errors must not corrupt the device or wedge the queue.
+	if err := h.write(t, 0, h.block(2)); err != nil {
+		t.Fatalf("valid write after sizing errors: %v", err)
+	}
+}
+
+func testBounds(t *testing.T, h *Harness) {
+	for _, blk := range []int64{-1, h.Blocks} {
+		if _, err := h.read(t, blk); !errors.Is(err, driver.ErrBadBlock) {
+			t.Errorf("read of block %d: err = %v, want ErrBadBlock", blk, err)
+		}
+		if err := h.write(t, blk, h.block(3)); !errors.Is(err, driver.ErrBadBlock) {
+			t.Errorf("write of block %d: err = %v, want ErrBadBlock", blk, err)
+		}
+	}
+	var res error
+	fired := false
+	h.Dev.ReadBlock(97, 0, func(_ []byte, err error) { res, fired = err, true })
+	h.Run()
+	if !fired || res == nil {
+		t.Errorf("read of partition 97: err = %v (fired=%v), want an error", res, fired)
+	}
+}
+
+func testAsync(t *testing.T, h *Harness) {
+	// The interface contract: done fires at completion in simulated
+	// time, never inside the issuing call — layered code (the cache's
+	// readNext chains) re-enters the device from its callbacks and
+	// would otherwise recurse on its own locks. Error deliveries are
+	// the easy ones to get wrong.
+	cases := []struct {
+		name  string
+		issue func(fired *bool)
+	}{
+		{"read", func(fired *bool) {
+			h.Dev.ReadBlock(0, 0, func([]byte, error) { *fired = true })
+		}},
+		{"write", func(fired *bool) {
+			h.Dev.WriteBlock(0, 0, h.block(4), func([]byte, error) { *fired = true })
+		}},
+		{"read out of range", func(fired *bool) {
+			h.Dev.ReadBlock(0, -1, func([]byte, error) { *fired = true })
+		}},
+		{"write bad length", func(fired *bool) {
+			h.Dev.WriteBlock(0, 0, nil, func([]byte, error) { *fired = true })
+		}},
+		{"read bad partition", func(fired *bool) {
+			h.Dev.ReadBlock(97, 0, func([]byte, error) { *fired = true })
+		}},
+	}
+	for _, c := range cases {
+		fired := false
+		c.issue(&fired)
+		if fired {
+			t.Errorf("%s: completion callback ran inside the issuing call", c.name)
+		}
+		h.Run()
+		if !fired {
+			t.Errorf("%s: completion callback never ran", c.name)
+		}
+	}
+}
+
+func testDead(t *testing.T, h *Harness) {
+	seed := h.block(0x5A)
+	if !h.DeadIsFatal {
+		// Redundant device: seed data before the kill so the surviving
+		// replica can prove it still has it.
+		if err := h.write(t, h.DeadBlock, seed); err != nil {
+			t.Fatalf("seeding write: %v", err)
+		}
+	}
+	h.Kill()
+	if h.DeadIsFatal {
+		if _, err := h.read(t, h.DeadBlock); !errors.Is(err, driver.ErrDead) {
+			t.Errorf("read after kill: err = %v, want ErrDead", err)
+		}
+		if err := h.write(t, h.DeadBlock, seed); !errors.Is(err, driver.ErrDead) {
+			t.Errorf("write after kill: err = %v, want ErrDead", err)
+		}
+		// The taxonomy: device death is a crash underneath, so layers
+		// keying on the cause (the degraded-mirror accounting, crash
+		// recovery) can unwrap it uniformly.
+		if _, err := h.read(t, h.DeadBlock); !errors.Is(err, fault.ErrCrash) {
+			t.Errorf("read after kill: err = %v does not unwrap to fault.ErrCrash", err)
+		}
+		return
+	}
+	got, err := h.read(t, h.DeadBlock)
+	if err != nil {
+		t.Fatalf("read after member kill: %v", err)
+	}
+	if !bytes.Equal(got, seed) {
+		t.Fatal("read after member kill returned wrong data")
+	}
+	if err := h.write(t, h.DeadBlock, h.block(0x77)); err != nil {
+		t.Fatalf("write after member kill: %v", err)
+	}
+	if got, err := h.read(t, h.DeadBlock); err != nil || !bytes.Equal(got, h.block(0x77)) {
+		t.Fatalf("readback after degraded write: err=%v", err)
+	}
+}

@@ -1,0 +1,135 @@
+// The conformance battery applied to every BlockDevice in the tree:
+// the single-disk driver and all three volume layouts, the volumes in
+// both execution modes (shared engine and coordinator shards).
+package devtest
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/rig"
+	"repro/internal/volume"
+)
+
+// driverHarness builds the single-disk device: a full rig with a
+// centered reserved region, like the paper's deployment.
+func driverHarness(t *testing.T, kill bool) *Harness {
+	t.Helper()
+	opts := rig.Options{ReservedCyls: 48}
+	if kill {
+		opts.Fault = &fault.Plan{CrashAfterOps: 1}
+	}
+	r, err := rig.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Driver.Label().Partition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &Harness{
+		Dev:         r.Driver,
+		Run:         r.Eng.Run,
+		Blocks:      p.Size / int64(r.Driver.BlockSize().Sectors()),
+		DeadIsFatal: true,
+	}
+	if kill {
+		h.Kill = func() {
+			// The first device operation trips the power loss; the
+			// sacrificial request's own error is the crash, not ErrDead.
+			r.Driver.WriteBlock(0, 0, make([]byte, r.Driver.BlockSize().Bytes()), nil)
+			r.Eng.Run()
+			if !r.Driver.Dead() {
+				t.Fatal("kill hook did not kill the driver")
+			}
+		}
+	}
+	return h
+}
+
+// volumeHarness builds a volume device harness. The kill plan crashes
+// member 1 on its first device operation; deadBlk locates a block that
+// member serves.
+func volumeHarness(t *testing.T, opts volume.Options, kill bool, deadBlk func(v *volume.Volume) int64) *Harness {
+	t.Helper()
+	if kill {
+		opts.Faults = make([]*fault.Plan, opts.Disks)
+		opts.Faults[1] = &fault.Plan{CrashAfterOps: 1}
+	}
+	v, err := volume.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(v.Close)
+	h := &Harness{
+		Dev:         v,
+		Run:         v.Run,
+		Blocks:      v.Blocks(),
+		DeadIsFatal: opts.Layout != volume.Mirror,
+	}
+	if kill {
+		h.DeadBlock = deadBlk(v)
+		h.Kill = func() {
+			// Sacrificial writes until the fault plan has tripped; on a
+			// mirror the fan-out reaches the doomed member on the first
+			// write even when DeadBlock data was seeded beforehand.
+			for i := 0; i < 4 && !v.Members[1].Driver.Dead(); i++ {
+				v.WriteBlock(0, h.DeadBlock, make([]byte, v.BlockSize().Bytes()), nil)
+				v.Run()
+			}
+			if !v.Members[1].Driver.Dead() {
+				t.Fatal("kill hook did not kill member 1")
+			}
+		}
+	}
+	return h
+}
+
+func TestDriverConformance(t *testing.T) {
+	TestDevice(t, driverHarness)
+}
+
+func TestConcatConformance(t *testing.T) {
+	TestDevice(t, func(t *testing.T, kill bool) *Harness {
+		return volumeHarness(t, volume.Options{Layout: volume.Concat, Disks: 2}, kill,
+			func(v *volume.Volume) int64 { return v.Blocks() - 1 })
+	})
+}
+
+func TestStripeConformance(t *testing.T) {
+	TestDevice(t, func(t *testing.T, kill bool) *Harness {
+		return volumeHarness(t, volume.Options{Layout: volume.Stripe, Disks: 2, StripeUnit: 1}, kill,
+			func(v *volume.Volume) int64 { return 1 })
+	})
+}
+
+func TestMirrorConformance(t *testing.T) {
+	TestDevice(t, func(t *testing.T, kill bool) *Harness {
+		return volumeHarness(t, volume.Options{Layout: volume.Mirror, Disks: 2}, kill,
+			func(v *volume.Volume) int64 { return 0 })
+	})
+}
+
+// The sharded variants run the identical battery with every member on
+// a private engine shard: the conformance surface must be mode-blind,
+// including death semantics delivered across the shard boundary.
+func TestConcatShardedConformance(t *testing.T) {
+	TestDevice(t, func(t *testing.T, kill bool) *Harness {
+		return volumeHarness(t, volume.Options{Layout: volume.Concat, Disks: 2, Shards: 2}, kill,
+			func(v *volume.Volume) int64 { return v.Blocks() - 1 })
+	})
+}
+
+func TestStripeShardedConformance(t *testing.T) {
+	TestDevice(t, func(t *testing.T, kill bool) *Harness {
+		return volumeHarness(t, volume.Options{Layout: volume.Stripe, Disks: 2, StripeUnit: 1, Shards: 2}, kill,
+			func(v *volume.Volume) int64 { return 1 })
+	})
+}
+
+func TestMirrorShardedConformance(t *testing.T) {
+	TestDevice(t, func(t *testing.T, kill bool) *Harness {
+		return volumeHarness(t, volume.Options{Layout: volume.Mirror, Disks: 2, Shards: 2}, kill,
+			func(v *volume.Volume) int64 { return 0 })
+	})
+}

@@ -145,6 +145,14 @@ type Driver struct {
 	bt  *blocktable.Table
 	cfg Config
 
+	// shard, when non-nil, marks the driver as running on a member
+	// shard of a sim.Coordinator: public entry points are bracketed
+	// with Enter/Exit and their completion callbacks wrapped so they
+	// fire on the coordinator's fan-in side in global (time, seq)
+	// order. nil (the default) is the single-engine path with zero
+	// overhead.
+	shard *sim.Shard
+
 	queue []*ioreq
 	busy  bool
 
@@ -335,16 +343,34 @@ func (d *Driver) BlockTable() []blocktable.Entry {
 // (not counting the one being serviced).
 func (d *Driver) QueueLen() int { return len(d.queue) }
 
+// BindShard attaches the driver to a coordinator shard: from now on
+// the driver's engine is the shard's private engine and every public
+// entry point is a coordinator boundary. The volume binds each member
+// driver to its shard right after building the member rig; everything
+// below the entry points (strategy, the queue, retries, block-copy
+// chains) is untouched and runs member-side.
+func (d *Driver) BindShard(s *sim.Shard) { d.shard = s }
+
 // ReadBlock issues a read of one file system block: partition-relative
 // block number blk on partition part. done fires at completion in
 // simulated time.
 func (d *Driver) ReadBlock(part int, blk int64, done DoneFunc) {
+	if s := d.shard; s != nil {
+		s.Enter()
+		defer s.Exit()
+		done = s.WrapDone(done)
+	}
 	d.blockIO(false, part, blk, nil, done)
 }
 
 // WriteBlock issues a write of one file system block. data must be one
 // block long.
 func (d *Driver) WriteBlock(part int, blk int64, data []byte, done DoneFunc) {
+	if s := d.shard; s != nil {
+		s.Enter()
+		defer s.Exit()
+		done = s.WrapDone(done)
+	}
 	if len(data) != d.cfg.BlockSize.Bytes() {
 		d.fail(done, fmt.Errorf("driver: write of %d bytes, block size is %d", len(data), d.cfg.BlockSize.Bytes()))
 		return
@@ -430,6 +456,11 @@ func (d *Driver) Outstanding() int {
 // (Section 4.1.2); done fires once, after the last subrequest, with the
 // concatenated data for reads.
 func (d *Driver) Physio(write bool, vsector int64, count int, data []byte, done DoneFunc) {
+	if s := d.shard; s != nil {
+		s.Enter()
+		defer s.Exit()
+		done = s.WrapDone(done)
+	}
 	if count <= 0 || vsector < 0 || vsector+int64(count) > d.lbl.VirtualSectors() {
 		d.fail(done, fmt.Errorf("%w: raw range [%d, %d)", ErrBadBlock, vsector, vsector+int64(count)))
 		return

@@ -4,6 +4,7 @@ import (
 	"context"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -52,7 +53,14 @@ var equivSpecs = []struct {
 // reports exactly as abrsim prints them.
 func renderSpec(t *testing.T, id string, workers int) string {
 	t.Helper()
-	reports, err := RunSpec(context.Background(), id, equivOptions(),
+	return renderSpecOpts(t, id, equivOptions(), workers)
+}
+
+// renderSpecOpts is renderSpec with explicit options, for the sharded
+// variants below.
+func renderSpecOpts(t *testing.T, id string, o Options, workers int) string {
+	t.Helper()
+	reports, err := RunSpec(context.Background(), id, o,
 		runner.Config{Workers: workers})
 	if err != nil {
 		t.Fatalf("%s (jobs=%d): %v", id, workers, err)
@@ -98,6 +106,55 @@ func TestEngineEquivalenceGolden(t *testing.T) {
 			// here because the pooled engine must stay job-private.
 			if par := renderSpec(t, spec.id, 8); par != got {
 				t.Errorf("%s: jobs=8 output differs from jobs=1", spec.id)
+			}
+		})
+	}
+}
+
+// TestShardedVolumeEquivalence pins the shard coordinator's exact-merge
+// contract end to end: running every volume member on a private engine
+// shard (Options.Shards > 1, what abrsim -shard requests) must leave
+// each experiment's rendered reports byte-identical to the
+// shared-engine run — and the shared-engine run is itself locked to
+// the committed goldens above, so the sharded render is compared
+// straight against the golden bytes. volume-scale is the real subject,
+// fanning requests out over concat/stripe/mirror volumes of up to 8
+// members; table2 and faults are single-disk experiments for which
+// Shards is a documented no-op, locked here so the flag can never
+// perturb them.
+func TestShardedVolumeEquivalence(t *testing.T) {
+	shards := runtime.NumCPU()
+	if shards < 2 {
+		// The contract is about merge order, not parallel hardware: a
+		// single-core box still runs real shard goroutines in lockstep.
+		shards = 4
+	}
+	for _, spec := range []struct {
+		id    string
+		short bool // runs in -short mode too
+	}{
+		{"table2", true},
+		{"faults", true},
+		{"volume-scale", false},
+	} {
+		spec := spec
+		t.Run(spec.id, func(t *testing.T) {
+			if testing.Short() && !spec.short {
+				t.Skip("volume matrix simulation in -short mode")
+			}
+			path := filepath.Join("testdata", "equiv", spec.id+".golden")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading golden (generate with UPDATE_EQUIV_GOLDEN=1): %v", err)
+			}
+			o := equivOptions()
+			o.Shards = shards
+			got := renderSpecOpts(t, spec.id, o, 1)
+			if got != string(want) {
+				gotPath := path + ".sharded-got"
+				_ = os.WriteFile(gotPath, []byte(got), 0o644)
+				t.Errorf("%s: shards=%d output differs from shared-engine golden %s; observed bytes written to %s",
+					spec.id, shards, path, gotPath)
 			}
 		})
 	}

@@ -36,6 +36,11 @@ type Options struct {
 	// experiments ("faults", "crash") ignore it: they define their own
 	// plans. nil (the default) changes nothing.
 	Fault *fault.Plan
+	// Shards above 1 runs every member disk of a volume-backed
+	// experiment on its own engine and goroutine (abrsim -shard; see
+	// volume.Options.Shards). Single-disk experiments have one member
+	// and ignore it. Results are byte-identical for any value.
+	Shards int
 }
 
 func (o Options) days(def int) int {

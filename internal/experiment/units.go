@@ -110,7 +110,7 @@ func onOffUnits(fsname string, o Options) []unit {
 		s := Setup{
 			DiskName: diskName, FSName: fsname,
 			Days: o.days(days), WindowMS: o.WindowMS, Seed: o.Seed,
-			Fault: o.Fault,
+			Fault: o.Fault, Shards: o.Shards,
 		}
 		return unit{
 			job: runner.Job{
@@ -155,7 +155,7 @@ func policiesUnits(o Options) []unit {
 				Days:      o.days(4),
 				OnPattern: func(day int) bool { return day > 0 },
 				WindowMS:  o.WindowMS, Seed: o.Seed,
-				Fault: o.Fault,
+				Fault: o.Fault, Shards: o.Shards,
 			}
 			units = append(units, unit{
 				job: runner.Job{
@@ -200,7 +200,7 @@ func sweepUnits(o Options, counts []int) []unit {
 			Days:      o.days(2),
 			OnPattern: func(day int) bool { return day > 0 },
 			WindowMS:  o.WindowMS, Seed: o.Seed,
-			Fault: o.Fault,
+			Fault: o.Fault, Shards: o.Shards,
 		}
 		units = append(units, unit{
 			job: runner.Job{

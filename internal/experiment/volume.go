@@ -49,6 +49,10 @@ type VolumeSetup struct {
 	// experiment is to saturate one disk so the scaling is visible.
 	Clients     int
 	ThinkMeanMS float64
+	// Shards above 1 runs each member disk on its own engine and
+	// goroutine (volume.Options.Shards); output is byte-identical to
+	// the single-engine run.
+	Shards int
 }
 
 func (s VolumeSetup) withDefaults() VolumeSetup {
@@ -127,10 +131,12 @@ func ExecuteVolume(ctx context.Context, s VolumeSetup) (*VolumePoint, error) {
 		ReservedCyls: 48,
 		Faults:       s.Faults,
 		Telemetry:    col,
+		Shards:       s.Shards,
 	})
 	if err != nil {
 		return nil, err
 	}
+	defer v.Close()
 	// The volume matrix is a throughput benchmark: mount noatime (else
 	// the heavy client pool spends the run re-encoding inode blocks for
 	// atime bookkeeping) and keep the data cache small so most reads
@@ -148,7 +154,7 @@ func ExecuteVolume(ctx context.Context, s VolumeSetup) (*VolumePoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	v.Eng.Run() // format completes before any daemon exists
+	v.Run() // format completes before any daemon exists
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -200,7 +206,7 @@ func ExecuteVolume(ctx context.Context, s VolumeSetup) (*VolumePoint, error) {
 		}
 		dayStart := float64(day)*workload.DayMS + workload.DayStartMS
 		dayEnd := dayStart + s.WindowMS
-		v.Eng.RunUntil(dayStart)
+		v.RunUntil(dayStart)
 		v.ResetStats() // discard overnight / populate traffic
 		for _, rear := range rears {
 			rear.StartMonitoring()
@@ -226,7 +232,7 @@ func ExecuteVolume(ctx context.Context, s VolumeSetup) (*VolumePoint, error) {
 			for i, rear := range rears {
 				var installed int
 				if err := awaitVolume(v, fmt.Sprintf("rearrange member %d after day %d", i, day),
-					v.Eng.Now()+2*workload.HourMS, func(done func(error)) {
+					v.Now()+2*workload.HourMS, func(done func(error)) {
 						rear.Rearrange(func(n int, err error) {
 							installed = n
 							done(err)
@@ -251,13 +257,14 @@ func ExecuteVolume(ctx context.Context, s VolumeSetup) (*VolumePoint, error) {
 	pt.DeadMembers = v.DeadMembers()
 	pt.WorkloadErrors = w.Errors()
 	if col != nil {
-		col.SetEngineEvents(v.Eng.Dispatched())
+		col.SetEngineEvents(v.Dispatched())
 	}
 	return pt, nil
 }
 
-// awaitVolume is await for a volume-backed stack: it drives the shared
-// engine until the operation signals completion, in bounded horizon
+// awaitVolume is await for a volume-backed stack: it drives the
+// volume (the shared engine, or the shard coordinator when sharded)
+// until the operation signals completion, in bounded horizon
 // increments so periodic daemons cannot stall it.
 func awaitVolume(v *volume.Volume, what string, horizon float64, op func(done func(error))) error {
 	var opErr error
@@ -266,15 +273,15 @@ func awaitVolume(v *volume.Volume, what string, horizon float64, op func(done fu
 		opErr = err
 		finished = true
 	})
-	v.Eng.RunUntil(horizon)
+	v.RunUntil(horizon)
 	for ext := 0; !finished && v.Err() == nil && ext < 200; ext++ {
-		v.Eng.RunUntil(v.Eng.Now() + 10*60*1000)
+		v.RunUntil(v.Now() + 10*60*1000)
 	}
 	if err := v.Err(); err != nil {
 		return err
 	}
 	if !finished {
-		return fmt.Errorf("experiment: volume %s did not complete by t=%.0f ms", what, v.Eng.Now())
+		return fmt.Errorf("experiment: volume %s did not complete by t=%.0f ms", what, v.Now())
 	}
 	return opErr
 }
@@ -327,7 +334,7 @@ func registerVolumeProbes(col *telemetry.Collector, v *volume.Volume) {
 func volumeConfigs(o Options) []VolumeSetup {
 	days := o.days(2)
 	base := func(cfg string) VolumeSetup {
-		return VolumeSetup{Config: cfg, Days: days, WindowMS: o.WindowMS, Seed: o.Seed}
+		return VolumeSetup{Config: cfg, Days: days, WindowMS: o.WindowMS, Seed: o.Seed, Shards: o.Shards}
 	}
 	stripe := func(cfg string, disks, unit int) VolumeSetup {
 		s := base(cfg)

@@ -153,6 +153,10 @@ type FS struct {
 	inodes   map[Ino]*inode
 	readOnly bool
 	dirRotor uint64 // new-directory spread rotor (see allocInode)
+
+	// freeRead heads the pool of ReadAt walk records (see readReq in
+	// ops.go). Single-threaded like the rest of the file system.
+	freeRead *readReq
 }
 
 // Newfs formats the partition and returns a mounted file system with an

@@ -414,44 +414,97 @@ func (h *Handle) ReadAt(idx, n int64, done func([][]byte, error)) {
 		fail(fmt.Errorf("%w: read [%d,+%d) of %d-block file", ErrBadRange, idx, n, nd.size))
 		return
 	}
-	meta := []step{{block: f.inodeBlockOf(h.ino), meta: true}}
+	r := f.getRead()
+	r.nd, r.ino, r.idx, r.n, r.b = nd, h.ino, idx, n, idx
+	r.done = done
+	r.out = make([][]byte, 0, n)
+	r.meta[0] = f.inodeBlockOf(h.ino)
+	r.mn, r.mi = 1, 0
 	if idx+n > NDirect {
-		meta = append(meta, step{block: nd.indirect, meta: true})
+		r.meta[1], r.mn = nd.indirect, 2
 	}
-	out := make([][]byte, 0, n)
-	f.runSeq(meta, func(err error) {
-		if err != nil {
-			if done != nil {
-				done(nil, err)
-			}
-			return
-		}
-		var readNext func(b int64)
-		readNext = func(b int64) {
-			if b == idx+n {
-				if !f.prm.NoAtime {
-					ib := f.inodeBlockOf(h.ino)
-					f.meta.WriteOwned(ib, f.encodeInodeBlock(ib), nil)
-				}
-				if done != nil {
-					done(out, nil)
-				}
+	f.meta.Read(r.meta[0], r.metaCB)
+}
+
+// readReq is one ReadAt in flight. A file read walks up to two
+// metadata blocks and then each data block strictly in sequence, one
+// cache read per completion; building that walk from closures
+// allocated a fresh chain per call — the hottest allocation site in
+// the whole stack, per the volume-scale profile. The record carries
+// the walk state with two prebuilt callbacks instead, so only the
+// result slice (whose ownership transfers to done) is still allocated
+// per read.
+type readReq struct {
+	f      *FS
+	next   *readReq
+	nd     *inode
+	ino    Ino
+	idx, n int64
+	b      int64 // next file block to read
+	out    [][]byte
+	done   func([][]byte, error)
+	meta   [2]int64 // metadata prelude: inode block, then indirect
+	mi, mn int
+	metaCB func([]byte, error)
+	dataCB func([]byte, error)
+}
+
+// getRead pops a walk record off the pool, building its callbacks on
+// first use.
+func (f *FS) getRead() *readReq {
+	r := f.freeRead
+	if r == nil {
+		r = &readReq{f: f}
+		r.metaCB = func(_ []byte, err error) {
+			if err != nil {
+				r.finish(nil, err)
 				return
 			}
-			blk := f.blockOf(nd, b)
-			f.cache.Read(blk, func(data []byte, err error) {
-				if err != nil {
-					if done != nil {
-						done(nil, err)
-					}
-					return
-				}
-				out = append(out, data)
-				readNext(b + 1)
-			})
+			if r.mi++; r.mi < r.mn {
+				r.f.meta.Read(r.meta[r.mi], r.metaCB)
+				return
+			}
+			r.step()
 		}
-		readNext(idx)
-	})
+		r.dataCB = func(data []byte, err error) {
+			if err != nil {
+				r.finish(nil, err)
+				return
+			}
+			r.out = append(r.out, data)
+			r.b++
+			r.step()
+		}
+	} else {
+		f.freeRead = r.next
+	}
+	return r
+}
+
+// step issues the next data-block read, or finishes the walk — with
+// the access-time inode write-back first, exactly as before pooling.
+func (r *readReq) step() {
+	if r.b == r.idx+r.n {
+		f := r.f
+		if !f.prm.NoAtime {
+			ib := f.inodeBlockOf(r.ino)
+			f.meta.WriteOwned(ib, f.encodeInodeBlock(ib), nil)
+		}
+		r.finish(r.out, nil)
+		return
+	}
+	r.f.cache.Read(r.f.blockOf(r.nd, r.b), r.dataCB)
+}
+
+// finish recycles the record before the completion callback runs, so
+// the callback can issue a new read that reuses it.
+func (r *readReq) finish(out [][]byte, err error) {
+	f, done := r.f, r.done
+	r.nd, r.done, r.out = nil, nil, nil
+	r.next, f.freeRead = f.freeRead, r
+	if done != nil {
+		done(out, err)
+	}
 }
 
 // Remove deletes a file or an empty directory, freeing its blocks.

@@ -1,0 +1,495 @@
+// Shard coordinator: conservative parallel discrete-event simulation
+// over one fan-in ("main") engine and N member engines, each member
+// running on its own goroutine, with completions merged back onto the
+// main goroutine in global (time, seq) order.
+//
+// The determinism contract is exact-merge: every engine draws event
+// sequence numbers from one shared counter (ShareSeq), and the
+// coordinator executes the union of all event streams in strict
+// (time, seq) order, so a sharded run fires the same callbacks in the
+// same order — and performs every schedule call, and therefore every
+// sequence-number draw, in the same order — as the same program on a
+// single shared engine. Output is unconditionally byte-identical,
+// including runs whose event times tie across members.
+//
+// Exactness dictates the synchronization. Each side runs only while
+// its pending range lies strictly below every other engine's earliest
+// candidate (head event or parked delivery):
+//
+//   - Main must not run past any member's earliest event — an arrival
+//     must observe the member state those events produce — so main
+//     batches run under a dynamic bound covering every member's head
+//     key, tightened live as main-side events schedule new member
+//     work (Exit folds fresh heads into the bound mid-batch).
+//   - A member must not run past main's head, any parked delivery, or
+//     any other member's head. Zero lookahead forces the last clause:
+//     any member event may complete a request at its own firing time,
+//     and the completion callback (fan-in, then possibly a new
+//     request fanned out to a different member) does not commute with
+//     other members' pending events. A device model with a service
+//     floor could promise a delivery-free window and widen these
+//     bounds; see the package notes in DESIGN.md.
+//   - Deliveries commit on the main goroutine in global key order,
+//     with the main clock advanced to the completion time first.
+//
+// The consequence on one core is lockstep: at any instant exactly one
+// engine fires events, handing off through the worker channels. The
+// structure still buys per-member heap locality and bounded batches
+// (a member runs its whole sub-bound range — completion, After(0)
+// chains, queue dispatch — per handoff, not one event per handoff),
+// and is the substrate for real overlap once member models export
+// lookahead.
+//
+// Boundary mechanics: member-side completion callbacks are wrapped
+// (WrapDone/WrapErr) so that firing one parks the member goroutine
+// and hands a delivery record to the coordinator instead of running
+// the callback in place; main-side code calls into members only
+// through driver entry points bracketed by Enter/Exit. Member engines
+// never schedule onto each other or onto main.
+package sim
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Coordinator synchronizes one main engine with per-member shard
+// engines. All exported methods must be called from the goroutine that
+// owns the main engine; the coordinator runs member engines on its own
+// worker goroutines and guarantees that at most one side executes
+// events at any instant a shared structure could be observed.
+type Coordinator struct {
+	main   *Engine
+	shards []*Shard
+	seqSrc atomic.Int64
+	dead   atomic.Bool
+	wg     sync.WaitGroup
+
+	// pbBound, when non-nil, is the bound of the main RunBound batch in
+	// progress; Shard.Exit folds freshly scheduled member events into
+	// it so main never outruns them.
+	pbBound *Bound
+}
+
+// shardState is the coordinator-side view of a worker goroutine.
+type shardState int
+
+const (
+	// stateIdle: the worker is blocked receiving on cmd; its engine is
+	// quiescent and its candidate key is the engine's head event.
+	stateIdle shardState = iota
+	// stateDelivery: the worker is parked mid-event inside a wrapped
+	// completion callback, blocked receiving on resume; its candidate
+	// key is the parked delivery's (time, seq).
+	stateDelivery
+)
+
+// Shard is one member engine plus its worker goroutine and the
+// coordinator-side bookkeeping for it.
+type Shard struct {
+	co  *Coordinator
+	eng *Engine
+	idx int
+
+	cmd    chan struct{} // coordinator -> worker: run up to b
+	parked chan parkMsg  // worker -> coordinator: parked
+	resume chan struct{} // coordinator -> worker: delivery committed
+
+	// b is the worker's execution bound. The coordinator writes it only
+	// while the worker is parked; the channel operations order the
+	// accesses.
+	b Bound
+
+	// Coordinator-side state, touched only from the main goroutine.
+	state shardState
+	park  parkMsg  // last park message (valid in stateDelivery)
+	saved float64  // member clock saved by Enter
+	free  *wrapRec // pooled wrapper records (main-side only)
+
+	// entered is true between Enter and Exit, i.e. while the main
+	// goroutine is inside one of this member's entry points. A wrapped
+	// callback firing then is a degenerate inline completion and must
+	// run in place rather than park (workers are guaranteed parked, so
+	// the flag is never read and written concurrently; atomic for the
+	// detector's benefit).
+	entered atomic.Bool
+}
+
+// parkMsg reports why a worker stopped executing events.
+type parkMsg struct {
+	// delivery is true when the worker parked mid-event inside a
+	// wrapped boundary callback; time/seq are the firing event's key
+	// and rec holds the callback and its results. delivery=false means
+	// the worker ran up to its bound and went idle.
+	delivery bool
+	time     float64
+	seq      int64
+	rec      *wrapRec
+}
+
+// wrapRec carries one boundary-crossing callback and its results from
+// the member goroutine to the commit on main. Records are pooled per
+// shard with prebuilt closures; the pool is touched only from the main
+// goroutine (WrapDone/WrapErr run under Enter, release happens at
+// commit), so it needs no lock.
+type wrapRec struct {
+	shard *Shard
+	next  *wrapRec
+
+	done  func([]byte, error)
+	edone func(error)
+	data  []byte
+	err   error
+	isErr bool // true: edone-style record
+
+	wrapDone func([]byte, error)
+	wrapErr  func(error)
+}
+
+// NewCoordinator builds a coordinator over main with n member shards,
+// each with a fresh engine, wires every engine to one shared sequence
+// counter, and starts the worker goroutines. It must be called before
+// any engine has scheduled events whose order matters across engines
+// (in practice: immediately after creating main).
+func NewCoordinator(main *Engine, n int) *Coordinator {
+	c := &Coordinator{main: main}
+	main.ShareSeq(&c.seqSrc)
+	for i := 0; i < n; i++ {
+		s := &Shard{
+			co:     c,
+			eng:    NewEngine(),
+			idx:    i,
+			cmd:    make(chan struct{}),
+			parked: make(chan parkMsg),
+			resume: make(chan struct{}),
+		}
+		s.eng.ShareSeq(&c.seqSrc)
+		c.shards = append(c.shards, s)
+		c.wg.Add(1)
+		go s.loop()
+	}
+	return c
+}
+
+// Shard returns member shard i.
+func (c *Coordinator) Shard(i int) *Shard { return c.shards[i] }
+
+// Engine returns the shard's private engine, for building the member
+// stack on.
+func (s *Shard) Engine() *Engine { return s.eng }
+
+// loop is the worker goroutine: run the engine up to the bound the
+// coordinator set, report the park, repeat. Deliveries park from
+// inside RunBound via deliverRec and do not pass through here.
+func (s *Shard) loop() {
+	defer s.co.wg.Done()
+	for range s.cmd {
+		s.eng.RunBound(&s.b)
+		s.parked <- parkMsg{}
+	}
+}
+
+// deliverRec runs on the worker goroutine, from inside a wrapped
+// boundary callback: park the delivery with the coordinator and block
+// until it has been committed on main. After a shutdown the record is
+// dropped and the engine stopped so RunBound unwinds promptly.
+func (s *Shard) deliverRec(r *wrapRec) {
+	if s.entered.Load() {
+		// Fired synchronously inside the issuing entry point, on the
+		// main goroutine (a degenerate chain that completes inline,
+		// e.g. cleaning an empty block table): run the callback in
+		// place, exactly as the single-engine path would.
+		done, edone, data, err, isErr := r.done, r.edone, r.data, r.err, r.isErr
+		r.done, r.edone, r.data, r.err = nil, nil, nil, nil
+		r.next = s.free
+		s.free = r
+		if isErr {
+			if edone != nil {
+				edone(err)
+			}
+		} else if done != nil {
+			done(data, err)
+		}
+		return
+	}
+	if s.co.dead.Load() {
+		s.eng.Stop()
+		return
+	}
+	s.parked <- parkMsg{delivery: true, time: s.eng.now, seq: s.eng.curSeq, rec: r}
+	<-s.resume
+	if s.co.dead.Load() {
+		s.eng.Stop()
+	}
+}
+
+// getRec pops a pooled wrapper record, building one (with its reusable
+// boundary closures) on first use.
+func (s *Shard) getRec() *wrapRec {
+	r := s.free
+	if r == nil {
+		r = &wrapRec{shard: s}
+		r.wrapDone = func(data []byte, err error) {
+			r.data, r.err = data, err
+			r.shard.deliverRec(r)
+		}
+		r.wrapErr = func(err error) {
+			r.err = err
+			r.shard.deliverRec(r)
+		}
+	} else {
+		s.free = r.next
+		r.next = nil
+	}
+	return r
+}
+
+// Enter brackets a main-side call into the member stack: the member
+// clock is set to main's so the member code observes the caller's
+// present (the member may be parked mid-delivery with its clock ahead
+// of main). Exit restores the member clock and folds any freshly
+// scheduled member events into the bound of a main batch in progress.
+// Enter/Exit pairs do not nest per shard.
+func (s *Shard) Enter() {
+	s.saved = s.eng.now
+	s.eng.now = s.co.main.now
+	s.entered.Store(true)
+}
+
+// Exit ends an Enter bracket.
+func (s *Shard) Exit() {
+	s.entered.Store(false)
+	s.eng.now = s.saved
+	if pb := s.co.pbBound; pb != nil {
+		if t, q, ok := s.eng.Peek(); ok && pb.before(t, q) {
+			pb.Time, pb.Seq = t, q
+		}
+	}
+}
+
+// WrapDone wraps a data-carrying completion callback so that firing it
+// on the member engine parks the worker and defers the callback to the
+// coordinator's commit on the main goroutine. Must be called under
+// Enter. The signature converts implicitly to driver.DoneFunc without
+// importing the driver package here.
+func (s *Shard) WrapDone(done func([]byte, error)) func([]byte, error) {
+	r := s.getRec()
+	r.done = done
+	r.isErr = false
+	return r.wrapDone
+}
+
+// WrapErr is WrapDone for error-only callbacks (ioctl-style entries).
+func (s *Shard) WrapErr(done func(error)) func(error) {
+	r := s.getRec()
+	r.edone = done
+	r.isErr = true
+	return r.wrapErr
+}
+
+// commit runs a parked delivery on the main goroutine: advance main's
+// clock to the completion time, fire the real callback, recycle the
+// record.
+func (c *Coordinator) commit(s *Shard) {
+	msg := s.park
+	s.park = parkMsg{}
+	c.main.AdvanceTo(msg.time)
+	r := msg.rec
+	done, edone, data, err, isErr := r.done, r.edone, r.data, r.err, r.isErr
+	r.done, r.edone, r.data, r.err = nil, nil, nil, nil
+	r.next = s.free
+	s.free = r
+	if isErr {
+		if edone != nil {
+			edone(err)
+		}
+	} else if done != nil {
+		done(data, err)
+	}
+}
+
+// memberBound computes the conservative execution bound for member s:
+// the minimum over the horizon, main's head event, and every other
+// shard's candidate (parked delivery or head event). Events of s
+// strictly below this key are, by construction, exactly the events a
+// single shared engine would execute next, in the same order.
+func (c *Coordinator) memberBound(s *Shard, hB *Bound) Bound {
+	b := *hB
+	if t, q, ok := c.main.Peek(); ok && b.before(t, q) {
+		b = Bound{Time: t, Seq: q}
+	}
+	for _, o := range c.shards {
+		if o == s {
+			continue
+		}
+		if k, ok := o.candidate(); ok && k.beforeBound(&b) {
+			b = k
+		}
+	}
+	return b
+}
+
+// candidate returns the shard's earliest pending key: the parked
+// delivery's key, or the engine's head event, or ok=false when the
+// shard is fully quiescent.
+func (s *Shard) candidate() (Bound, bool) {
+	if s.state == stateDelivery {
+		return Bound{Time: s.park.time, Seq: s.park.seq}, true
+	}
+	if t, q, ok := s.eng.Peek(); ok {
+		return Bound{Time: t, Seq: q}, true
+	}
+	return Bound{}, false
+}
+
+// Run executes the merged simulation until every engine is quiescent
+// (the sharded analogue of Engine.Run on the main engine).
+func (c *Coordinator) Run() { c.merge(math.Inf(1), false) }
+
+// RunUntil executes the merged simulation through time t inclusive,
+// then advances the main clock to t, like Engine.RunUntil. Events
+// beyond t — including member completions already in flight — stay
+// pending for the next call.
+func (c *Coordinator) RunUntil(t float64) { c.merge(t, true) }
+
+// interruptStrideMerge is how many merge-loop iterations pass between
+// polls of the main engine's interrupt hook, covering stretches where
+// the members churn (overnight rearrangement) while main is idle and
+// Engine-level polling would never trigger.
+const interruptStrideMerge = 1024
+
+// merge is the coordinator's scheduler loop. Invariants at the top of
+// every iteration: main is quiescent on this goroutine, and every
+// worker is parked (idle or mid-delivery).
+func (c *Coordinator) merge(horizon float64, advance bool) {
+	hB := Bound{Time: horizon, Seq: math.MaxInt64}
+	inf := Bound{Time: math.Inf(1), Seq: math.MaxInt64}
+	for iter := 0; ; iter++ {
+		if c.dead.Load() {
+			return
+		}
+		if iter%interruptStrideMerge == interruptStrideMerge-1 &&
+			c.main.interrupt != nil && c.main.interrupt() {
+			return
+		}
+
+		// Collect candidates: main's head, each shard's head or parked
+		// delivery, and the earliest pending delivery on its own.
+		mainKey := inf
+		if t, q, ok := c.main.Peek(); ok {
+			mainKey = Bound{Time: t, Seq: q}
+		}
+		best := hB
+		var bestShard *Shard
+		minDeliv := inf
+		for _, s := range c.shards {
+			k, ok := s.candidate()
+			if !ok {
+				continue
+			}
+			if s.state == stateDelivery && k.beforeBound(&minDeliv) {
+				minDeliv = k
+			}
+			if k.beforeBound(&best) {
+				best, bestShard = k, s
+			}
+		}
+
+		switch {
+		case mainKey.beforeBound(&best):
+			// Main holds the globally earliest event: run a main batch
+			// bounded by everything else, tightening the bound live as
+			// main-side events schedule new member work (Exit folds).
+			pb := best
+			if minDeliv.beforeBound(&pb) {
+				pb = minDeliv
+			}
+			for _, s := range c.shards {
+				if s.state != stateIdle {
+					continue
+				}
+				if t, q, ok := s.eng.Peek(); ok && pb.before(t, q) {
+					pb = Bound{Time: t, Seq: q}
+				}
+			}
+			c.pbBound = &pb
+			ok := c.main.RunBound(&pb)
+			c.pbBound = nil
+			if !ok {
+				return
+			}
+		case bestShard == nil:
+			// Nothing below the horizon anywhere: done.
+			if advance {
+				c.main.AdvanceTo(horizon)
+			}
+			return
+		case bestShard.state == stateDelivery:
+			// The globally earliest pending work is a parked member
+			// completion: commit it on main, then let that member run
+			// on (it finishes the parked event — dispatching its next
+			// queued request — and continues up to a fresh conservative
+			// bound) while this goroutine waits. The bound is computed
+			// after the commit: the callback may have scheduled new
+			// events anywhere, and the member may only run while its
+			// range is below all of them.
+			s := bestShard
+			c.commit(s)
+			b := c.memberBound(s, &hB)
+			s.b = b
+			s.state = stateIdle
+			s.resume <- struct{}{}
+			msg := <-s.parked
+			if msg.delivery {
+				s.state = stateDelivery
+				s.park = msg
+			}
+		default:
+			// The globally earliest event is member-internal: run that
+			// member up to the next candidate anywhere else. Only the
+			// globally minimal member can run — any other member's head
+			// event may complete a request whose callback (on main)
+			// reaches back into further members, so running past it
+			// would let state diverge from the single-engine order.
+			s := bestShard
+			s.b = c.memberBound(s, &hB)
+			s.cmd <- struct{}{}
+			msg := <-s.parked
+			if msg.delivery {
+				s.state = stateDelivery
+				s.park = msg
+			}
+		}
+	}
+}
+
+// Dispatched returns the total number of events fired across the main
+// and member engines — the same count a single shared engine would
+// report for the same program.
+func (c *Coordinator) Dispatched() int64 {
+	n := c.main.Dispatched()
+	for _, s := range c.shards {
+		n += s.eng.Dispatched()
+	}
+	return n
+}
+
+// Close shuts the coordinator down: parked deliveries are dropped,
+// workers unwound and joined. The volume calls it when an experiment
+// ends (including cancellation); a closed coordinator's Run/RunUntil
+// return immediately.
+func (c *Coordinator) Close() {
+	if c.dead.Swap(true) {
+		return
+	}
+	for _, s := range c.shards {
+		if s.state == stateDelivery {
+			s.resume <- struct{}{}
+			<-s.parked
+			s.state = stateIdle
+		}
+		close(s.cmd)
+	}
+	c.wg.Wait()
+}

@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// toyDev is a minimal queued device for exercising the coordinator: a
+// FIFO server whose completions optionally hop through internal
+// member-side events before crossing back to the caller. It mirrors
+// the structure of the real driver (public entry wrapped at the shard
+// boundary, completion chains member-side) without any disk modeling.
+type toyDev struct {
+	eng   *Engine
+	shard *Shard
+	idx   int
+	busy  bool
+	queue []toyReq
+}
+
+type toyReq struct {
+	svc  float64
+	hops int
+	done func([]byte, error)
+}
+
+// request is the public entry: called from the fan-in side, wrapped at
+// the shard boundary exactly like the driver's ReadBlock.
+func (d *toyDev) request(svc float64, hops int, done func([]byte, error)) {
+	if s := d.shard; s != nil {
+		s.Enter()
+		defer s.Exit()
+		done = s.WrapDone(done)
+	}
+	d.queue = append(d.queue, toyReq{svc: svc, hops: hops, done: done})
+	if !d.busy {
+		d.start()
+	}
+}
+
+func (d *toyDev) start() {
+	if len(d.queue) == 0 {
+		d.busy = false
+		return
+	}
+	d.busy = true
+	r := d.queue[0]
+	d.queue = d.queue[1:]
+	d.eng.After(r.svc, func() { d.hop(r, r.hops) })
+}
+
+// hop runs member-internal continuation events. Hop delays are on the
+// same 0.5ms grid for every device, so internal events of different
+// members collide in time constantly; exact-merge must still replay
+// the single-engine order.
+func (d *toyDev) hop(r toyReq, hops int) {
+	if hops > 0 {
+		d.eng.After(0.5, func() { d.hop(r, hops-1) })
+		return
+	}
+	r.done(nil, nil)
+	d.start()
+}
+
+// toyRun executes one randomized closed-loop program over ndev devices
+// and nclients clients and returns its full completion log plus final
+// clock and event count. sharded selects the coordinator path; both
+// paths run the byte-identical program.
+func toyRun(seed uint64, ndev, nclients, perClient int, sharded bool) string {
+	main := NewEngine()
+	var co *Coordinator
+	devs := make([]*toyDev, ndev)
+	if sharded {
+		co = NewCoordinator(main, ndev)
+		for i := range devs {
+			devs[i] = &toyDev{eng: co.Shard(i).Engine(), shard: co.Shard(i), idx: i}
+		}
+		defer co.Close()
+	} else {
+		for i := range devs {
+			devs[i] = &toyDev{eng: main, idx: i}
+		}
+	}
+
+	var log strings.Builder
+	rnd := NewRand(seed)
+	ticks := 0
+	cancel := main.Every(7, func() { ticks++ })
+
+	var issue func(c, left int)
+	issue = func(c, left int) {
+		if left == 0 {
+			return
+		}
+		svc := float64(rnd.Intn(5) + 1) // integer service: force ties
+		hops := rnd.Intn(3)
+		if rnd.Intn(8) == 0 {
+			// Broadcast: same-time fan-out to every device, like a
+			// mirror write; completions tie exactly and must commit in
+			// issue order.
+			pending := ndev
+			for i := range devs {
+				i := i
+				devs[i].request(svc, hops, func(_ []byte, _ error) {
+					fmt.Fprintf(&log, "b %d %d %d %.6f\n", c, i, left, main.Now())
+					pending--
+					if pending == 0 {
+						issue(c, left-1)
+					}
+				})
+			}
+			return
+		}
+		i := rnd.Intn(ndev)
+		devs[i].request(svc, hops, func(_ []byte, _ error) {
+			fmt.Fprintf(&log, "r %d %d %d %.6f\n", c, i, left, main.Now())
+			issue(c, left-1)
+		})
+	}
+	for c := 0; c < nclients; c++ {
+		issue(c, perClient)
+	}
+
+	// Drive in horizon slices, then to quiescence, exercising both
+	// RunUntil and Run merge semantics.
+	for _, h := range []float64{3, 17, 50} {
+		if sharded {
+			co.RunUntil(h)
+		} else {
+			main.RunUntil(h)
+		}
+		fmt.Fprintf(&log, "t %.6f\n", main.Now())
+	}
+	cancel()
+	if sharded {
+		co.Run()
+	} else {
+		main.Run()
+	}
+	disp := main.Dispatched()
+	if sharded {
+		disp = co.Dispatched()
+	}
+	fmt.Fprintf(&log, "end %.6f %d %d\n", main.Now(), disp, ticks)
+	return log.String()
+}
+
+// TestShardEquivalence runs randomized closed-loop programs on the
+// coordinator and on a single shared engine and requires byte-identical
+// completion logs, clocks, and event counts.
+func TestShardEquivalence(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		ndev := 1 + int(seed%4)
+		nclients := 1 + int(seed%5)
+		per := 8 + int(seed%7)
+		want := toyRun(seed, ndev, nclients, per, false)
+		got := toyRun(seed, ndev, nclients, per, true)
+		if got != want {
+			t.Fatalf("seed %d (%d devs, %d clients): sharded log diverges\nsingle:\n%s\nsharded:\n%s",
+				seed, ndev, nclients, want, got)
+		}
+	}
+}
+
+// TestShardCloseParked verifies Close unwinds workers parked
+// mid-delivery (the cancellation path) without running their callbacks.
+func TestShardCloseParked(t *testing.T) {
+	main := NewEngine()
+	co := NewCoordinator(main, 2)
+	dev := &toyDev{eng: co.Shard(0).Engine(), shard: co.Shard(0)}
+	fired := false
+	dev.request(5, 0, func(_ []byte, _ error) { fired = true })
+	// Stop before the completion can commit: the worker parks at the
+	// delivery when the horizon admits the completion event but main
+	// is interrupted first.
+	co.RunUntil(1)
+	co.Close()
+	co.Close() // idempotent
+	if fired {
+		t.Fatal("callback ran after Close")
+	}
+	co.RunUntil(100) // closed coordinator: no-op, no hang
+}
+
+func TestRunBound(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(float64(i), func() { got = append(got, i) })
+	}
+	b := Bound{Time: 2, Seq: math.MaxInt64}
+	if !e.RunBound(&b) {
+		t.Fatal("RunBound stopped early")
+	}
+	if len(got) != 3 {
+		t.Fatalf("RunBound fired %d events, want 3", len(got))
+	}
+	if e.Now() != 2 {
+		t.Fatalf("clock advanced to %g, want 2 (last fired event)", e.Now())
+	}
+	if tm, _, ok := e.Peek(); !ok || tm != 3 {
+		t.Fatalf("Peek = %v, %v, want 3", tm, ok)
+	}
+	e.AdvanceTo(10)
+	if e.Now() != 10 {
+		t.Fatalf("AdvanceTo: clock %g, want 10", e.Now())
+	}
+	e.AdvanceTo(5) // past: no-op
+	if e.Now() != 10 {
+		t.Fatalf("AdvanceTo backward moved clock to %g", e.Now())
+	}
+}
+
+// TestRunBoundSeqLimit checks the bound is exclusive in (time, seq):
+// events at the bound time fire only while their seq is below it.
+func TestRunBoundSeqLimit(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 4; i++ {
+		i := i
+		e.At(1, func() { got = append(got, i) })
+	}
+	// Events got seqs 1..4 in scheduling order.
+	b := Bound{Time: 1, Seq: 3}
+	e.RunBound(&b)
+	if len(got) != 2 {
+		t.Fatalf("fired %d events below (1,3), want 2", len(got))
+	}
+}
+
+func TestShareSeq(t *testing.T) {
+	var src atomic.Int64
+	a, b := NewEngine(), NewEngine()
+	a.At(0, func() {}) // consume seq 1 locally before sharing
+	a.ShareSeq(&src)
+	b.ShareSeq(&src)
+	if src.Load() != 1 {
+		t.Fatalf("ShareSeq folded local seq %d, want 1", src.Load())
+	}
+	a.At(1, func() {})
+	b.At(1, func() {})
+	_, sa, _ := a.Peek()
+	_, _, _ = b.Peek()
+	if sa != 1 {
+		t.Fatalf("pre-share event seq %d, want 1", sa)
+	}
+	a.Run()
+	bt, bs, _ := b.Peek()
+	if bt != 1 || bs < 2 {
+		t.Fatalf("shared seqs not monotone across engines: (%g, %d)", bt, bs)
+	}
+}

@@ -16,11 +16,17 @@
 //     fan out to all live members; reads pick one live member by the
 //     configured balancing policy and fail over to the others on error.
 //
-// All members share one event engine, so a volume advances in a single
-// simulated timeline and the fan-out/fan-in of mirror requests is fully
-// deterministic: member completions are ordered by simulated time, and
-// tie-breaks follow the engine's fixed event ordering. Running the same
-// volume under any number of harness jobs yields byte-identical output.
+// A volume advances in a single simulated timeline and the
+// fan-out/fan-in of mirror requests is fully deterministic: member
+// completions are ordered by simulated (time, seq), the engine's fixed
+// event ordering. By default all members share one event engine; with
+// Options.Shards > 1 each member instead runs its own engine on its
+// own goroutine under a sim.Coordinator, which merges completions back
+// in the same global (time, seq) order — so sharded and unsharded runs
+// of the same volume, and runs under any number of harness jobs, all
+// yield byte-identical output. Callers drive a sharded volume through
+// Run/RunUntil (which delegate to the coordinator) and must Close it
+// when done to join the member goroutines.
 //
 // Degraded operation: a member whose driver has died (fault plan crash)
 // is skipped by mirror reads and writes; the volume request succeeds as
@@ -32,7 +38,6 @@ package volume
 import (
 	"context"
 	"fmt"
-	"sort"
 
 	"repro/internal/disk"
 	"repro/internal/driver"
@@ -106,6 +111,15 @@ type Options struct {
 	// member's request lifecycle stream, tagged with the member's disk
 	// index via telemetry.TagDisk.
 	Telemetry *telemetry.Collector
+	// Shards enables parallel member execution: a value above 1 gives
+	// every member disk its own engine and goroutine under a
+	// sim.Coordinator (the value itself is a switch, not a pool size —
+	// the natural decomposition is one shard per member; GOMAXPROCS
+	// bounds actual parallelism). 0 or 1 selects the single shared
+	// engine. Output is byte-identical either way. Span-capturing
+	// telemetry forces the shared engine, since span sinks observe
+	// member-side request lifecycles that have no fan-in ordering.
+	Shards int
 }
 
 // Stats are volume-level request statistics, accumulated since the last
@@ -132,7 +146,11 @@ type Stats struct {
 // Volume is a logical volume over member rigs. Like the rest of the
 // stack it is event-driven and single-threaded on its engine.
 type Volume struct {
-	// Eng is the engine shared by every member.
+	// Eng is the fan-in engine: the shared engine of every member when
+	// unsharded, or the coordinator's main engine when sharded. The
+	// file system, cache, workloads and rearrangers all run on it
+	// either way; drive it through the volume's Run/RunUntil so the
+	// sharded path engages the coordinator.
 	Eng *sim.Engine
 	// Members are the per-disk stacks, in disk-index order. Callers
 	// may attach rearrangers or read per-member counters, but must not
@@ -150,6 +168,14 @@ type Volume struct {
 	sizes  []int64 // usable blocks per member under this layout
 	cum    []int64 // concat: cumulative start block per member
 	rr     int     // round-robin read cursor
+
+	// co is the shard coordinator, nil on the single-engine path.
+	co *sim.Coordinator
+
+	// free is the vreq pool; targets is the mirror write fan-out
+	// scratch. Both are fan-in-side (main goroutine) only.
+	free    *vreq
+	targets []int
 
 	stats Stats
 }
@@ -196,6 +222,8 @@ func New(opts Options) (*Volume, error) {
 	if ctx := opts.Ctx; ctx != nil {
 		eng.SetInterrupt(func() bool { return ctx.Err() != nil })
 	}
+	spans := opts.Telemetry != nil && opts.Telemetry.SpansEnabled()
+	sharded := opts.Shards > 1 && opts.Disks > 1 && !spans
 
 	v := &Volume{
 		Eng:    eng,
@@ -204,14 +232,21 @@ func New(opts Options) (*Volume, error) {
 		policy: opts.ReadPolicy,
 		ctx:    opts.Ctx,
 	}
+	if sharded {
+		v.co = sim.NewCoordinator(eng, opts.Disks)
+	}
 	v.stats.PerDisk = make([]int64, opts.Disks)
 	for i := 0; i < opts.Disks; i++ {
 		var plan *fault.Plan
 		if i < len(opts.Faults) {
 			plan = opts.Faults[i]
 		}
+		mEng := eng
+		if sharded {
+			mEng = v.co.Shard(i).Engine()
+		}
 		m, err := rig.New(rig.Options{
-			Eng:              eng,
+			Eng:              mEng,
 			Disk:             opts.Disk,
 			ReservedCyls:     opts.ReservedCyls,
 			BlockSize:        opts.BlockSize,
@@ -220,9 +255,13 @@ func New(opts Options) (*Volume, error) {
 			Fault:            plan,
 		})
 		if err != nil {
+			v.Close()
 			return nil, fmt.Errorf("volume: member %d: %w", i, err)
 		}
-		if opts.Telemetry != nil && opts.Telemetry.SpansEnabled() {
+		if sharded {
+			m.Driver.BindShard(v.co.Shard(i))
+		}
+		if spans {
 			m.Driver.SetSink(telemetry.TagDisk(i, opts.Telemetry))
 		}
 		v.Members = append(v.Members, m)
@@ -266,10 +305,56 @@ func New(opts Options) (*Volume, error) {
 
 	lbl, err := v.makeLabel()
 	if err != nil {
+		v.Close()
 		return nil, err
 	}
 	v.lbl = lbl
 	return v, nil
+}
+
+// Run drives the simulation until every engine is quiescent: the
+// coordinator's merged run when sharded, the shared engine's Run
+// otherwise.
+func (v *Volume) Run() {
+	if v.co != nil {
+		v.co.Run()
+		return
+	}
+	v.Eng.Run()
+}
+
+// RunUntil drives the simulation through time t inclusive, then
+// advances the clock to t, like sim.Engine.RunUntil.
+func (v *Volume) RunUntil(t float64) {
+	if v.co != nil {
+		v.co.RunUntil(t)
+		return
+	}
+	v.Eng.RunUntil(t)
+}
+
+// Now returns the fan-in engine's current simulated time.
+func (v *Volume) Now() float64 { return v.Eng.Now() }
+
+// Dispatched returns the total number of events fired across all the
+// volume's engines; sharded and unsharded runs of the same program
+// report the same count.
+func (v *Volume) Dispatched() int64 {
+	if v.co != nil {
+		return v.co.Dispatched()
+	}
+	return v.Eng.Dispatched()
+}
+
+// Close releases the volume's resources: on the sharded path it shuts
+// the coordinator down and joins the member goroutines (dropping any
+// in-flight completions, so only call it when the run is over or
+// cancelled). The single-engine path has nothing to release. Close is
+// idempotent.
+func (v *Volume) Close() {
+	if v.co != nil {
+		v.co.Close()
+	}
 }
 
 // makeLabel builds the synthetic in-memory label presented to the file
@@ -383,17 +468,98 @@ func (v *Volume) fail(done driver.DoneFunc, err error) {
 	})
 }
 
-// finish wraps a request's done callback with response-time accounting.
-func (v *Volume) finish(start float64, done driver.DoneFunc) driver.DoneFunc {
-	return func(data []byte, err error) {
-		v.stats.RespMSSum += v.Eng.Now() - start
-		if err != nil {
-			v.stats.Errors++
+// vreq is the volume's pooled per-request record: response-time
+// accounting, mirror failover and fan-in state, and the completion
+// callbacks handed to member drivers, prebuilt once per record so a
+// steady-state volume request allocates nothing at the volume layer
+// (the fan-out closures used to dominate the allocation profile of
+// volume-scale runs). Records live on the fan-in side only — every
+// field is touched on the main goroutine — so the pool needs no lock.
+type vreq struct {
+	v    *Volume
+	next *vreq
+
+	start float64
+	done  driver.DoneFunc
+	blk   int64 // mirror read: the member-relative (= logical) block
+
+	order []int // mirror read: failover order; backing array reused
+	k     int   // mirror read: index in order of the attempt in flight
+
+	pending  int // mirror write: outstanding member writes
+	wrote    int // mirror write: successful member writes
+	firstErr error
+
+	finishCB driver.DoneFunc // account, recycle, run the caller's done
+	readCB   driver.DoneFunc // mirror read fan-in with failover
+	writeCB  driver.DoneFunc // mirror write fan-in (any-replica success)
+}
+
+// getReq pops a pooled request record, building one — with its
+// reusable completion closures — on first use.
+func (v *Volume) getReq() *vreq {
+	r := v.free
+	if r == nil {
+		r = &vreq{v: v}
+		r.finishCB = func(data []byte, err error) {
+			vol := r.v
+			vol.stats.RespMSSum += vol.Eng.Now() - r.start
+			if err != nil {
+				vol.stats.Errors++
+			}
+			done := r.done
+			vol.putReq(r)
+			if done != nil {
+				done(data, err)
+			}
 		}
-		if done != nil {
-			done(data, err)
+		r.readCB = func(data []byte, err error) {
+			if err != nil && r.k+1 < len(r.order) {
+				// Fail over to the next replica; the dead or erroring
+				// member is out of rotation once Dead() reports it.
+				vol := r.v
+				vol.stats.Degraded++
+				r.k++
+				i := r.order[r.k]
+				vol.stats.PerDisk[i]++
+				vol.Members[i].Driver.ReadBlock(0, r.blk, r.readCB)
+				return
+			}
+			r.finishCB(data, err)
 		}
+		r.writeCB = func(_ []byte, err error) {
+			if err == nil {
+				r.wrote++
+			} else if r.firstErr == nil {
+				r.firstErr = err
+			}
+			r.pending--
+			if r.pending > 0 {
+				return
+			}
+			if r.wrote > 0 {
+				r.finishCB(nil, nil)
+			} else {
+				r.finishCB(nil, r.firstErr)
+			}
+		}
+		return r
 	}
+	v.free = r.next
+	r.next = nil
+	return r
+}
+
+// putReq recycles a finished record. The caller's done reference is
+// cleared so the pool does not pin callback closures; the order
+// backing array survives for reuse.
+func (v *Volume) putReq(r *vreq) {
+	r.done, r.firstErr = nil, nil
+	r.order = r.order[:0]
+	r.start, r.blk = 0, 0
+	r.k, r.pending, r.wrote = 0, 0, 0
+	r.next = v.free
+	v.free = r
 }
 
 // ReadBlock implements driver.BlockDevice: it reads one logical block
@@ -405,45 +571,36 @@ func (v *Volume) ReadBlock(part int, blk int64, done driver.DoneFunc) {
 	}
 	v.stats.Requests++
 	v.stats.Reads++
-	start := v.Eng.Now()
+	r := v.getReq()
+	r.start = v.Eng.Now()
+	r.done = done
 	if v.layout != Mirror {
 		i, mblk := v.locate(blk)
 		v.stats.PerDisk[i]++
-		v.Members[i].Driver.ReadBlock(0, mblk, v.finish(start, done))
+		v.Members[i].Driver.ReadBlock(0, mblk, r.finishCB)
 		return
 	}
-	order := v.readOrder()
-	if len(order) == 0 {
+	r.order = v.appendReadOrder(r.order[:0])
+	if len(r.order) == 0 {
+		v.putReq(r)
 		v.fail(done, fmt.Errorf("volume: every mirror member is dead: %w", driver.ErrDead))
 		return
 	}
-	if len(order) < len(v.Members) {
+	if len(r.order) < len(v.Members) {
 		v.stats.Degraded++
 	}
-	fin := v.finish(start, done)
-	var try func(k int)
-	try = func(k int) {
-		i := order[k]
-		v.stats.PerDisk[i]++
-		v.Members[i].Driver.ReadBlock(0, blk, func(data []byte, err error) {
-			if err != nil && k+1 < len(order) {
-				// Fail over to the next replica; the dead or erroring
-				// member is out of rotation once Dead() reports it.
-				v.stats.Degraded++
-				try(k + 1)
-				return
-			}
-			fin(data, err)
-		})
-	}
-	try(0)
+	r.blk = blk
+	i := r.order[0]
+	v.stats.PerDisk[i]++
+	v.Members[i].Driver.ReadBlock(0, blk, r.readCB)
 }
 
-// readOrder returns the member indices a mirror read should try, best
-// candidate first, per the balancing policy. Only live members appear.
-func (v *Volume) readOrder() []int {
+// appendReadOrder appends the member indices a mirror read should try,
+// best candidate first, per the balancing policy. Only live members
+// appear. The caller passes a reused backing slice, so the hot path
+// allocates nothing.
+func (v *Volume) appendReadOrder(order []int) []int {
 	n := len(v.Members)
-	order := make([]int, 0, n)
 	switch v.policy {
 	case ShortestQueue:
 		for i, m := range v.Members {
@@ -451,14 +608,20 @@ func (v *Volume) readOrder() []int {
 				order = append(order, i)
 			}
 		}
-		sort.SliceStable(order, func(a, b int) bool {
-			qa := v.Members[order[a]].Driver.Outstanding()
-			qb := v.Members[order[b]].Driver.Outstanding()
-			if qa != qb {
-				return qa < qb
+		// Sort by (outstanding requests, index): an insertion sort over
+		// a handful of members, in place of sort.SliceStable and its
+		// per-call closure allocation. The key is total, so the result
+		// is the same.
+		for a := 1; a < len(order); a++ {
+			for b := a; b > 0; b-- {
+				qa := v.Members[order[b-1]].Driver.Outstanding()
+				qb := v.Members[order[b]].Driver.Outstanding()
+				if qa < qb || (qa == qb && order[b-1] < order[b]) {
+					break
+				}
+				order[b-1], order[b] = order[b], order[b-1]
 			}
-			return order[a] < order[b]
-		})
+		}
 	default: // RoundRobin
 		first := v.rr % n
 		v.rr++
@@ -487,50 +650,39 @@ func (v *Volume) WriteBlock(part int, blk int64, data []byte, done driver.DoneFu
 	}
 	v.stats.Requests++
 	v.stats.Writes++
-	start := v.Eng.Now()
+	r := v.getReq()
+	r.start = v.Eng.Now()
+	r.done = done
 	if v.layout != Mirror {
 		i, mblk := v.locate(blk)
 		v.stats.PerDisk[i]++
-		v.Members[i].Driver.WriteBlock(0, mblk, data, v.finish(start, done))
+		v.Members[i].Driver.WriteBlock(0, mblk, data, r.finishCB)
 		return
 	}
-	var targets []int
+	// targets is issue-time scratch only (no callback runs inside the
+	// fan-out loop — completions are simulated-time events), so the
+	// volume-level backing array is reused across requests.
+	targets := v.targets[:0]
 	for i, m := range v.Members {
 		if !m.Driver.Dead() {
 			targets = append(targets, i)
 		}
 	}
+	v.targets = targets
 	if len(targets) == 0 {
+		v.putReq(r)
 		v.fail(done, fmt.Errorf("volume: every mirror member is dead: %w", driver.ErrDead))
 		return
 	}
 	if len(targets) < len(v.Members) {
 		v.stats.Degraded++
 	}
-	fin := v.finish(start, done)
-	pending := len(targets)
-	var wrote int
-	var firstErr error
+	r.pending = len(targets)
 	for _, i := range targets {
 		v.stats.PerDisk[i]++
 		// Members may not mutate or retain the buffer (the cache hands
 		// its own copy to WriteThroughOwned under the same contract),
 		// so all replicas share one data slice.
-		v.Members[i].Driver.WriteBlock(0, blk, data, func(_ []byte, err error) {
-			if err == nil {
-				wrote++
-			} else if firstErr == nil {
-				firstErr = err
-			}
-			pending--
-			if pending > 0 {
-				return
-			}
-			if wrote > 0 {
-				fin(nil, nil)
-			} else {
-				fin(nil, firstErr)
-			}
-		})
+		v.Members[i].Driver.WriteBlock(0, blk, data, r.writeCB)
 	}
 }

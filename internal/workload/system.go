@@ -287,6 +287,16 @@ func (w *System) runJob(refs []fileRef, next func()) {
 	inflight := 0
 	finished := false
 	var fill func()
+	// One completion callback for every read of the job: it captures no
+	// per-read state, so allocating it per ReadAt (tens per job) would
+	// only make garbage.
+	onRead := func(_ [][]byte, err error) {
+		if err != nil {
+			w.errs++
+		}
+		inflight--
+		fill()
+	}
 	fill = func() {
 		for inflight < w.cfg.Parallel {
 			// Find the next file with blocks remaining, round-robin.
@@ -309,13 +319,7 @@ func (w *System) runJob(refs []fileRef, next func()) {
 			pos := c.pos
 			c.pos++
 			inflight++
-			c.h.ReadAt(pos, 1, func(_ [][]byte, err error) {
-				if err != nil {
-					w.errs++
-				}
-				inflight--
-				fill()
-			})
+			c.h.ReadAt(pos, 1, onRead)
 		}
 	}
 	fill()
