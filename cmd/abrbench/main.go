@@ -5,6 +5,7 @@
 // Usage:
 //
 //	abrbench [-out BENCH_sim.json] [-baseline FILE] [-check] [-reps N] [-jobs N] [-shard N]
+//	         [-metrics FILE]
 //
 // It runs a fixed subset of the experiment registry (the same
 // simulations abrsim runs, compressed) through the parallel runner,
@@ -32,10 +33,18 @@
 //	  ]
 //	}
 //
-// With -check it compares events_per_sec per benchmark against the
-// baseline file and exits non-zero if any shared benchmark regressed by
-// more than -tolerance (default 10%). The event counts themselves are
-// deterministic; only the wall-clock derived fields vary between runs.
+// With -check it compares per benchmark against the baseline file and
+// exits non-zero if any shared benchmark's events_per_sec regressed by
+// more than -tolerance (default 10%), or its allocs_per_event grew
+// beyond the baseline by more than 15% plus an absolute slack of 0.01
+// — the guard that keeps the metrics-instrumented hot path
+// allocation-free. The event counts themselves are deterministic; only
+// the wall-clock derived fields vary between runs.
+//
+// Every run records with metrics histograms enabled, so the measured
+// hot path is the instrumented one. With -metrics FILE the
+// volume-scale benchmark's per-job metrics snapshot is written as
+// JSON, readable by abrreport -metrics.
 package main
 
 import (
@@ -48,6 +57,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/metrics"
 	"repro/internal/runner"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
@@ -132,14 +142,22 @@ func main() {
 	reps := flag.Int("reps", 2, "repetitions per benchmark; the best is recorded")
 	jobs := flag.Int("jobs", 0, "parallel simulation jobs per run (0 = GOMAXPROCS)")
 	shard := flag.Int("shard", 4, "engine shards per volume in the sharded volume benchmark")
+	metricsOut := flag.String("metrics", "", "write the volume-scale benchmark's metrics snapshot (JSON) to this file")
 	flag.Parse()
 
 	f := File{Schema: 1, Go: runtime.Version()}
 	for _, b := range benches(*shard) {
-		r, err := runBench(b, *reps, *jobs)
+		r, snaps, err := runBench(b, *reps, *jobs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "abrbench: %s: %v\n", b.id, err)
 			os.Exit(1)
+		}
+		if *metricsOut != "" && b.name == "volume-scale" {
+			if err := writeSnapshot(*metricsOut, snaps); err != nil {
+				fmt.Fprintln(os.Stderr, "abrbench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "abrbench: wrote metrics snapshot to %s\n", *metricsOut)
 		}
 		f.Benchmarks = append(f.Benchmarks, r)
 		fmt.Fprintf(os.Stderr, "abrbench: %-8s %8.1f sim-days  %6.2fs wall  %11d events  %10.0f events/sec  %.4f allocs/event\n",
@@ -167,14 +185,20 @@ func main() {
 }
 
 // runBench runs one benchmark reps times and keeps the fastest
-// repetition. The event count is deterministic across repetitions; the
-// wall clock (and so events/sec) is what best-of smooths.
-func runBench(b bench, reps, jobs int) (Result, error) {
+// repetition, plus the per-job metrics snapshots (deterministic, so
+// any repetition's are the same). The event count is deterministic
+// across repetitions; the wall clock (and so events/sec) is what
+// best-of smooths. Metrics histograms are always on, so the bench
+// measures — and the alloc fields police — the instrumented hot path.
+func runBench(b bench, reps, jobs int) (Result, []metrics.JobSnapshot, error) {
 	best := Result{Name: b.name}
+	var snaps []metrics.JobSnapshot
 	for i := 0; i < reps; i++ {
 		o := b.opts
 		o.Jobs = jobs
-		o.Telemetry = &telemetry.Options{} // collectors carry engine event counts
+		// Collectors carry engine event counts; Metrics turns on the
+		// histogram recording whose cost the bench is guarding.
+		o.Telemetry = &telemetry.Options{Metrics: true}
 		var before, after runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&before)
@@ -183,8 +207,9 @@ func runBench(b bench, reps, jobs int) (Result, error) {
 		wall := time.Since(start)
 		runtime.ReadMemStats(&after)
 		if err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
+		snaps = telemetry.MetricsSnapshots(rs.Collectors)
 		var events int64
 		var simDays float64
 		for _, c := range rs.Collectors {
@@ -225,7 +250,20 @@ func runBench(b bench, reps, jobs int) (Result, error) {
 			best = r
 		}
 	}
-	return best, nil
+	return best, snaps, nil
+}
+
+// writeSnapshot writes per-job metrics snapshots as JSON.
+func writeSnapshot(path string, snaps []metrics.JobSnapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := metrics.WriteJSON(f, snaps); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // compare reports per-benchmark events/sec against the baseline file.
@@ -252,14 +290,22 @@ func compare(f File, path string, tolerance float64, check bool) error {
 			continue
 		}
 		ratio := r.EventsPerSec / b.EventsPerSec
-		fmt.Fprintf(os.Stderr, "abrbench: %-8s %10.0f -> %10.0f events/sec (%+.1f%%)\n",
-			r.Name, b.EventsPerSec, r.EventsPerSec, (ratio-1)*100)
+		fmt.Fprintf(os.Stderr, "abrbench: %-8s %10.0f -> %10.0f events/sec (%+.1f%%)  %.4f -> %.4f allocs/event\n",
+			r.Name, b.EventsPerSec, r.EventsPerSec, (ratio-1)*100, b.AllocsPerEvt, r.AllocsPerEvt)
 		if check && ratio < 1-tolerance {
 			failed = append(failed, fmt.Sprintf("%s regressed %.1f%%", r.Name, (1-ratio)*100))
 		}
+		// Allocation guard: the hot path must stay as allocation-free as
+		// the baseline. 15% relative plus 0.01/event absolute slack
+		// absorbs run-to-run noise in the harness's own setup allocations
+		// without letting a per-event allocation (+1.0) through.
+		if check && r.AllocsPerEvt > b.AllocsPerEvt*1.15+0.01 {
+			failed = append(failed, fmt.Sprintf("%s allocs/event %.4f exceeds baseline %.4f",
+				r.Name, r.AllocsPerEvt, b.AllocsPerEvt))
+		}
 	}
 	if len(failed) > 0 {
-		return fmt.Errorf("events/sec regression beyond %.0f%%: %v", tolerance*100, failed)
+		return fmt.Errorf("regression vs baseline: %v", failed)
 	}
 	return nil
 }

@@ -7,6 +7,7 @@
 //
 //	abrreport -trace day.trace [-disk toshiba|fujitsu] [-sched scan]
 //	          [-rearrange N] [-policy organ-pipe] [-telemetry FILE]
+//	          [-metrics FILE] [-chrome IN [-chrome-out OUT]]
 //
 // With -rearrange N, the trace is replayed twice: once to learn the N
 // hottest blocks, then again after rearranging them, and both
@@ -20,6 +21,18 @@
 // sampled disk gets its own counter line, not just the first. Files
 // without fault columns are summarized without the fault lines. The
 // flag works alone or alongside -trace.
+//
+// With -metrics FILE, a metrics JSON snapshot written by abrsim
+// -metrics is printed as one latency-percentile table per job: every
+// histogram gets a row with its count, mean, p50, p90, p99, p999 and
+// max (volume runs carry per-member rows, e.g.
+// driver_service_ms{disk="3"}), followed by the job's counters and
+// gauges.
+//
+// With -chrome IN, a JSONL span trace written by abrsim -trace is
+// converted to Chrome trace-event JSON (load it in about://tracing or
+// https://ui.perfetto.dev), written to -chrome-out or stdout. Each of
+// these flags works alone or alongside the others.
 package main
 
 import (
@@ -27,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -35,6 +49,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/driver"
+	"repro/internal/metrics"
 	"repro/internal/rig"
 	"repro/internal/sched"
 	"repro/internal/telemetry"
@@ -50,16 +65,35 @@ func main() {
 	format := flag.String("format", "binary", "trace format: binary or text")
 	timeout := flag.Duration("timeout", 0, "abort the replay after this long (0 = no limit)")
 	teleFile := flag.String("telemetry", "", "summarize a telemetry CSV written by abrsim -sample")
+	metricsFile := flag.String("metrics", "", "print latency percentile tables from a metrics JSON snapshot written by abrsim -metrics")
+	chromeIn := flag.String("chrome", "", "convert a JSONL span trace written by abrsim -trace to Chrome trace-event JSON")
+	chromeOut := flag.String("chrome-out", "", "output file for -chrome (default stdout)")
 	flag.Parse()
 
+	summarized := false
 	if *teleFile != "" {
 		if err := reportTelemetry(os.Stdout, *teleFile); err != nil {
 			fmt.Fprintln(os.Stderr, "abrreport:", err)
 			os.Exit(1)
 		}
-		if *traceFile == "" {
-			return
+		summarized = true
+	}
+	if *metricsFile != "" {
+		if err := reportMetrics(os.Stdout, *metricsFile); err != nil {
+			fmt.Fprintln(os.Stderr, "abrreport:", err)
+			os.Exit(1)
 		}
+		summarized = true
+	}
+	if *chromeIn != "" {
+		if err := convertChrome(*chromeIn, *chromeOut); err != nil {
+			fmt.Fprintln(os.Stderr, "abrreport:", err)
+			os.Exit(1)
+		}
+		summarized = true
+	}
+	if summarized && *traceFile == "" {
+		return
 	}
 
 	ctx := context.Background()
@@ -203,6 +237,97 @@ func printFaultCounters(w io.Writer, rs []telemetry.SampleRow) {
 		fmt.Fprintf(w, "  disk %d fault counters: %.0f faults, %.0f retries, %.0f remaps, %.0f unrecovered\n",
 			i, last[p+"faults"], last[p+"retries"], last[p+"remaps"], last[p+"unrecovered"])
 	}
+}
+
+// reportMetrics reads a metrics JSON snapshot and prints one latency-
+// percentile table per job.
+func reportMetrics(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	jobs, err := metrics.ReadJSON(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(jobs) == 0 {
+		return fmt.Errorf("%s: no job snapshots", path)
+	}
+	return summarizeMetrics(w, jobs)
+}
+
+// summarizeMetrics prints every job's histograms as a percentile table
+// (count, mean, p50, p90, p99, p999, max), then its counters and
+// gauges. Metrics appear in snapshot order — registration order, so
+// per-member rows of a volume run group by disk label.
+func summarizeMetrics(w io.Writer, jobs []metrics.JobSnapshot) error {
+	for _, j := range jobs {
+		var hists, scalars []metrics.MetricSnap
+		for _, m := range j.Metrics {
+			if m.Hist != nil {
+				hists = append(hists, m)
+			} else {
+				scalars = append(scalars, m)
+			}
+		}
+		fmt.Fprintf(w, "%s: metrics snapshot\n", j.Job)
+		if len(hists) > 0 {
+			fmt.Fprintf(w, "  %-34s %10s %9s %9s %9s %9s %9s %9s\n",
+				"histogram", "count", "mean", "p50", "p90", "p99", "p999", "max")
+			for _, m := range hists {
+				h := m.Hist
+				if h.Count == 0 {
+					fmt.Fprintf(w, "  %-34s %10d %9s %9s %9s %9s %9s %9s\n",
+						m.Name, 0, "-", "-", "-", "-", "-", "-")
+					continue
+				}
+				fmt.Fprintf(w, "  %-34s %10d %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f\n",
+					m.Name, h.Count, h.Mean(), h.Quantile(0.5), h.Quantile(0.9),
+					h.Quantile(0.99), h.Quantile(0.999), h.Max)
+			}
+		}
+		for _, m := range scalars {
+			fmt.Fprintf(w, "  %-34s %s = %s\n", m.Name, m.Kind, formatScalar(m.Value))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// formatScalar renders a counter or gauge value without trailing
+// zeros, keeping integral counters integral.
+func formatScalar(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// convertChrome converts a JSONL span trace to Chrome trace-event JSON
+// on outPath, or stdout when outPath is empty.
+func convertChrome(inPath, outPath string) error {
+	in, err := os.Open(inPath)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	if outPath == "" {
+		return telemetry.WriteChromeTrace(os.Stdout, in)
+	}
+	out, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteChromeTrace(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "abrreport: wrote Chrome trace to %s\n", outPath)
+	return nil
 }
 
 func run(ctx context.Context, traceFile, diskName, schedName, policyName, format string, rearrange int) error {

@@ -1,8 +1,15 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/metrics"
 )
 
 // A two-section sampler CSV as abrsim -sample writes for a mixed run:
@@ -56,5 +63,127 @@ func TestSummarizeTelemetryNoFaultColumns(t *testing.T) {
 	}
 	if strings.Contains(sb.String(), "fault counters") {
 		t.Errorf("fault lines printed for a file without fault columns\n\n%s", sb.String())
+	}
+}
+
+// buildMetricsSnapshot builds a two-job snapshot the way a volume run
+// would: a plain job with one histogram, and a volume job whose driver
+// histograms carry per-member disk labels.
+func buildMetricsSnapshot(t *testing.T) string {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	h := reg.Histogram("driver_service_ms", metrics.HistogramOpts{})
+	for i := 1; i <= 1000; i++ {
+		h.Record(float64(i))
+	}
+	reg.Counter("driver_requests").Add(1000)
+
+	vreg := metrics.NewRegistry()
+	hv := vreg.Histogram("driver_service_ms", metrics.HistogramOpts{},
+		metrics.Label{Key: "disk", Value: "3"})
+	hv.Record(12.5)
+	vreg.Gauge("volume_dead_members").Set(1)
+
+	jobs := []metrics.JobSnapshot{
+		{Job: "onoff/system/toshiba", Metrics: reg.Snapshot().Metrics},
+		{Job: "volume/mirror-degraded", Metrics: vreg.Snapshot().Metrics},
+	}
+	var sb strings.Builder
+	if err := metrics.WriteJSON(&sb, jobs); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReportMetricsPercentileTable(t *testing.T) {
+	path := buildMetricsSnapshot(t)
+	var sb strings.Builder
+	if err := reportMetrics(&sb, path); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"onoff/system/toshiba: metrics snapshot",
+		"p99", "p999", // percentile columns present
+		"driver_service_ms",
+		"volume/mirror-degraded: metrics snapshot",
+		`driver_service_ms{disk="3"}`, // per-member row keeps its label
+		"counter = 1000",
+		"gauge = 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n\n%s", want, out)
+		}
+	}
+	// 1000 uniform values 1..1000: the log-linear buckets bound each
+	// quantile within ~3.2%, so p50 lands near 500 and max is exact.
+	line := ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "driver_service_ms") && !strings.Contains(l, "disk") {
+			line = l
+			break
+		}
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 8 {
+		t.Fatalf("malformed histogram row %q", line)
+	}
+	p50, err := strconv.ParseFloat(fields[3], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p50 < 500 || p50 > 520 {
+		t.Errorf("p50 = %v, want within [500, 520]", p50)
+	}
+	if max := fields[7]; max != "1000.000" {
+		t.Errorf("max = %s, want 1000.000", max)
+	}
+}
+
+func TestReportMetricsErrors(t *testing.T) {
+	if err := reportMetrics(io.Discard, filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file did not error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := reportMetrics(io.Discard, bad); err == nil {
+		t.Error("malformed file did not error")
+	}
+}
+
+func TestConvertChrome(t *testing.T) {
+	in := filepath.Join(t.TempDir(), "spans.jsonl")
+	line := `{"k":"span","w":0,"int":0,"orig":1,"sec":100,"n":16,"qd":1,` +
+		`"arr":1.0,"disp":2.0,"seek":1.5,"rot":2.0,"xfer":0.5,"done":9.5,` +
+		`"dist":10,"redir":0,"bh":0}` + "\n"
+	if err := os.WriteFile(in, []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "chrome.json")
+	if err := convertChrome(in, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("output is not a JSON array: %v", err)
+	}
+	found := false
+	for _, e := range events {
+		if e["ph"] == "X" && e["name"] == "read" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no complete read event in output\n%s", data)
 	}
 }

@@ -5,21 +5,26 @@
 // Usage:
 //
 //	abrsim -exp table2 [-days N] [-hours H] [-seed S] [-jobs N] [-timeout D]
-//	       [-trace FILE] [-sample D [-telemetry FILE]] [-pprof ADDR]
+//	       [-trace FILE] [-sample D [-telemetry FILE]]
+//	       [-metrics FILE [-metrics-format json|prom]] [-pprof ADDR]
 //	       [-fault-plan PLAN] [-fault-seed S] [-crash-after N]
 //
 // Experiment ids come from the experiment registry; -h lists them all.
 // Independent simulations (each disk, policy, and sweep configuration)
-// fan out across -jobs workers, and the output — including the trace
-// and telemetry files — is byte-identical for any worker count.
+// fan out across -jobs workers, and the output — including the trace,
+// telemetry, and metrics files — is byte-identical for any worker
+// count.
 //
 // The default window is the paper's full 7am-10pm day; use -hours to
 // compress it for quick runs (shapes are stable down to about 1 hour).
 //
 // Observability: -trace streams one JSONL request span per completed
 // disk request; -sample runs the telemetry sampler every D of sim time
-// and writes the time series as CSV to -telemetry; -pprof serves
-// net/http/pprof on the given address for profiling the harness
+// and writes the time series as CSV to -telemetry; -metrics records
+// latency histograms and counters across the stack (driver, scheduler,
+// caches, volume, file system, workload) and writes one snapshot per
+// job as JSON — or Prometheus text with -metrics-format prom; -pprof
+// serves net/http/pprof on the given address for profiling the harness
 // itself.
 //
 // Fault injection: -fault-plan injects device faults per the plan
@@ -39,14 +44,17 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/fault"
+	"repro/internal/metrics"
 	"repro/internal/runner"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
@@ -63,6 +71,8 @@ func main() {
 	traceFile := flag.String("trace", "", "write request-lifecycle spans as JSONL to this file")
 	sample := flag.Duration("sample", 0, "telemetry sampling period in sim time (0 = off)")
 	teleFile := flag.String("telemetry", "", "write sampled time series as CSV to this file (default telemetry.csv when -sample is set)")
+	metricsFile := flag.String("metrics", "", "record latency histograms and counters, one snapshot per job, to this file")
+	metricsFormat := flag.String("metrics-format", "json", `metrics snapshot format: "json" or "prom"`)
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	faultPlan := flag.String("fault-plan", "", `inject device faults per this plan (e.g. "seed=3;twrite=1e-4;bad=40000-40015")`)
 	faultSeed := flag.Uint64("fault-seed", 0, "override the fault plan's seed (implies an empty plan if -fault-plan is unset)")
@@ -86,9 +96,14 @@ func main() {
 	o.Telemetry = &telemetry.Options{
 		Spans:          *traceFile != "",
 		SamplePeriodMS: sample.Seconds() * 1000,
+		Metrics:        *metricsFile != "",
 	}
 	if *teleFile == "" && *sample > 0 {
 		*teleFile = "telemetry.csv"
+	}
+	if *metricsFormat != "json" && *metricsFormat != "prom" {
+		fmt.Fprintf(os.Stderr, "abrsim: unknown -metrics-format %q (want json or prom)\n", *metricsFormat)
+		os.Exit(2)
 	}
 	if *pprofAddr != "" {
 		go func() {
@@ -97,7 +112,7 @@ func main() {
 			}
 		}()
 	}
-	if err := run(*exp, o, *jobs, *timeout, *traceFile, *teleFile); err != nil {
+	if err := run(*exp, o, *jobs, *timeout, *traceFile, *teleFile, *metricsFile, *metricsFormat); err != nil {
 		fmt.Fprintln(os.Stderr, "abrsim:", err)
 		os.Exit(1)
 	}
@@ -127,19 +142,76 @@ func buildFaultPlan(spec string, seed uint64, crashAfter int64) (*fault.Plan, er
 	return plan, nil
 }
 
-// usage prints the flag help plus the registry's experiment ids, so the
-// valid ids always match what is actually registered.
+// flagGroups orders the -h summary: every flag is registered once with
+// the flag package and listed here under its section. usage appends
+// any flag missing from the groups to a trailing "other flags"
+// section, so adding a flag without updating the groups can never
+// silently drop it from the help text.
+var flagGroups = []struct {
+	title string
+	names []string
+}{
+	{"simulation", []string{"exp", "days", "hours", "seed", "jobs", "shard", "timeout"}},
+	{"observability", []string{"trace", "sample", "telemetry", "metrics", "metrics-format", "pprof"}},
+	{"fault injection", []string{"fault-plan", "fault-seed", "crash-after"}},
+}
+
+// usage prints the grouped flag help plus the registry's experiment
+// ids, so the valid ids always match what is actually registered.
 func usage() {
 	out := flag.CommandLine.Output()
-	fmt.Fprintf(out, "usage: abrsim [flags]\n\nflags:\n")
-	flag.PrintDefaults()
+	fmt.Fprintf(out, "usage: abrsim [flags]\n")
+	all := make(map[string]*flag.Flag)
+	var order []string
+	flag.CommandLine.VisitAll(func(f *flag.Flag) {
+		all[f.Name] = f
+		order = append(order, f.Name)
+	})
+	grouped := make(map[string]bool)
+	for _, g := range flagGroups {
+		fmt.Fprintf(out, "\n%s flags:\n", g.title)
+		for _, name := range g.names {
+			if f := all[name]; f != nil {
+				printFlag(out, f)
+			}
+			grouped[name] = true
+		}
+	}
+	first := true
+	for _, name := range order {
+		if grouped[name] {
+			continue
+		}
+		if first {
+			fmt.Fprintf(out, "\nother flags:\n")
+			first = false
+		}
+		printFlag(out, all[name])
+	}
 	fmt.Fprintf(out, "\nexperiment ids:\n")
 	for _, s := range experiment.Specs() {
 		fmt.Fprintf(out, "  %-14s %s\n", s.ID, s.Description)
 	}
 }
 
-func run(exp string, o experiment.Options, jobs int, timeout time.Duration, traceFile, teleFile string) error {
+// printFlag renders one flag in the style of flag.PrintDefaults.
+func printFlag(out io.Writer, f *flag.Flag) {
+	arg, usage := flag.UnquoteUsage(f)
+	line := "  -" + f.Name
+	if arg != "" {
+		line += " " + arg
+	}
+	line += "\n    \t" + strings.ReplaceAll(usage, "\n", "\n    \t")
+	switch f.DefValue {
+	case "", "0", "false", "0s":
+		// zero default: omit, as PrintDefaults does
+	default:
+		line += fmt.Sprintf(" (default %q)", f.DefValue)
+	}
+	fmt.Fprintln(out, line)
+}
+
+func run(exp string, o experiment.Options, jobs int, timeout time.Duration, traceFile, teleFile, metricsFile, metricsFormat string) error {
 	if _, ok := experiment.Lookup(exp); !ok {
 		// Fail before the banner; RunSpec renders the valid-id list.
 		_, err := experiment.RunSpec(context.Background(), exp, o, runner.Config{})
@@ -167,6 +239,9 @@ func run(exp string, o experiment.Options, jobs int, timeout time.Duration, trac
 	fmt.Fprintf(os.Stderr, "abrsim: done in %.1fs\n", time.Since(start).Seconds())
 	summarize(rs)
 	if err := writeTelemetry(rs, traceFile, teleFile); err != nil {
+		return err
+	}
+	if err := writeMetrics(rs, metricsFile, metricsFormat); err != nil {
 		return err
 	}
 	for _, r := range reports {
@@ -229,5 +304,32 @@ func writeTelemetry(rs *experiment.ResultSet, traceFile, teleFile string) error 
 		}
 		fmt.Fprintf(os.Stderr, "abrsim: wrote telemetry samples to %s\n", teleFile)
 	}
+	return nil
+}
+
+// writeMetrics writes the per-job metrics snapshots, in job order —
+// byte-identical for any -jobs or -shard value.
+func writeMetrics(rs *experiment.ResultSet, path, format string) error {
+	if path == "" {
+		return nil
+	}
+	jobs := telemetry.MetricsSnapshots(rs.Collectors)
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("writing metrics: %w", err)
+	}
+	if format == "prom" {
+		err = metrics.WritePrometheus(f, jobs)
+	} else {
+		err = metrics.WriteJSON(f, jobs)
+	}
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("writing metrics: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("writing metrics: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "abrsim: wrote metrics snapshot to %s\n", path)
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/driver"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -175,6 +176,16 @@ func (c *Cache) applyPressure() {
 // Stats returns cumulative hit, miss and write-back counts.
 func (c *Cache) Stats() (hits, misses, writebacks int64) {
 	return c.hits, c.misses, c.writebacks
+}
+
+// BindMetrics registers the cache's lifetime counters in reg under a
+// cache="name" label, as func-backed metrics resolved at snapshot time
+// — the hot path is untouched.
+func (c *Cache) BindMetrics(reg *metrics.Registry, name string) {
+	lbl := metrics.Label{Key: "cache", Value: name}
+	reg.CounterFunc("cache_hits", func() int64 { return c.hits }, lbl)
+	reg.CounterFunc("cache_misses", func() int64 { return c.misses }, lbl)
+	reg.CounterFunc("cache_writebacks", func() int64 { return c.writebacks }, lbl)
 }
 
 // Len returns the number of cached blocks.

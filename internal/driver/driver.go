@@ -33,6 +33,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/label"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -180,6 +181,7 @@ type Driver struct {
 	sink  telemetry.Sink
 	ev    telemetry.Event // scratch event, reused across emissions
 	cum   Counters
+	mx    *driverMetrics // nil until BindMetrics; one comparison per interrupt
 
 	// Fault handling state. inj is the injector shared with the disk
 	// (nil when fault injection is off); dead is set by a simulated
@@ -439,6 +441,41 @@ type Counters struct {
 
 // Counters returns the driver's lifetime counters.
 func (d *Driver) Counters() Counters { return d.cum }
+
+// driverMetrics are the driver's hot-path histograms, recorded in
+// interrupt behind one nil check so an unbound driver pays a single
+// comparison per completion.
+type driverMetrics struct {
+	service  *metrics.Histogram
+	queueing *metrics.Histogram
+	seek     *metrics.Histogram
+	qdepth   *metrics.Histogram
+}
+
+// BindMetrics registers the driver's metrics in reg, all carrying the
+// given labels (a volume labels each member disk="i"): per-request
+// service/queue/seek-time and queue-depth histograms, recorded from the
+// moment of binding, plus func-backed counters over the lifetime
+// Counters, resolved at snapshot time. Bind after populate so the
+// distributions cover only the measured window. Like every driver entry
+// point, call it from the goroutine driving the simulation — for a
+// sharded member, between coordinator windows, which is exactly when
+// the experiment harness runs.
+func (d *Driver) BindMetrics(reg *metrics.Registry, labels ...metrics.Label) {
+	d.mx = &driverMetrics{
+		service:  reg.Histogram("driver_service_ms", metrics.HistogramOpts{}, labels...),
+		queueing: reg.Histogram("driver_queue_ms", metrics.HistogramOpts{}, labels...),
+		seek:     reg.Histogram("driver_seek_ms", metrics.HistogramOpts{}, labels...),
+		qdepth:   reg.Histogram("driver_queue_depth", metrics.HistogramOpts{MinExp: -1, MaxExp: 20}, labels...),
+	}
+	reg.CounterFunc("driver_requests", func() int64 { return d.cum.Requests }, labels...)
+	reg.CounterFunc("driver_redirected", func() int64 { return d.cum.Redirected }, labels...)
+	reg.CounterFunc("driver_internal_io", func() int64 { return d.cum.InternalIO }, labels...)
+	reg.CounterFunc("driver_faults", func() int64 { return d.cum.Faults }, labels...)
+	reg.CounterFunc("driver_retries", func() int64 { return d.cum.Retries }, labels...)
+	reg.CounterFunc("driver_remaps", func() int64 { return d.cum.Remaps }, labels...)
+	reg.CounterFunc("driver_unrecovered", func() int64 { return d.cum.Unrecovered }, labels...)
+}
 
 // Outstanding returns the number of requests in the driver: queued
 // plus the one in service.
@@ -848,15 +885,22 @@ func (d *Driver) emitFault(r *ioreq, fe *fault.Error, action string) {
 // the request, and starts the next queued operation.
 func (d *Driver) interrupt(r *ioreq, rdata []byte, t disk.Timing, startMS float64) {
 	if !r.internal {
+		now := d.eng.Now()
 		side := d.stats.side(r.write)
 		side.SchedDist.Add(t.SeekDist)
 		side.SeekMS += t.SeekMS
 		side.RotMS += t.RotMS
 		side.TransferMS += t.TransferMS
-		side.Service.Add(d.eng.Now() - startMS)
+		side.Service.Add(now - startMS)
 		side.Queueing.Add(startMS - r.arriveMS)
 		if t.BufferHit {
 			side.BufferHits++
+		}
+		if mx := d.mx; mx != nil {
+			mx.service.Record(now - startMS)
+			mx.queueing.Record(startMS - r.arriveMS)
+			mx.seek.Record(t.SeekMS)
+			mx.qdepth.Record(float64(r.qdepth))
 		}
 		d.cum.Requests++
 	} else {

@@ -8,7 +8,9 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/metrics"
 	"repro/internal/runner"
+	"repro/internal/telemetry"
 )
 
 // This file is the engine-equivalence lock: the golden files under
@@ -155,6 +157,67 @@ func TestShardedVolumeEquivalence(t *testing.T) {
 				_ = os.WriteFile(gotPath, []byte(got), 0o644)
 				t.Errorf("%s: shards=%d output differs from shared-engine golden %s; observed bytes written to %s",
 					spec.id, shards, path, gotPath)
+			}
+		})
+	}
+}
+
+// metricsJSON runs one spec with metrics histograms enabled and
+// returns the per-job snapshot document as abrsim -metrics writes it.
+func metricsJSON(t *testing.T, id string, o Options, workers int) string {
+	t.Helper()
+	o.Telemetry = &telemetry.Options{Metrics: true}
+	_, rs, err := RunSpecFull(context.Background(), id, o,
+		runner.Config{Workers: workers})
+	if err != nil {
+		t.Fatalf("%s (jobs=%d): %v", id, workers, err)
+	}
+	jobs := telemetry.MetricsSnapshots(rs.Collectors)
+	if len(jobs) == 0 {
+		t.Fatalf("%s: no metrics snapshots collected", id)
+	}
+	var sb strings.Builder
+	if err := metrics.WriteJSON(&sb, jobs); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestMetricsDeterminism pins the metrics core's determinism contract
+// end to end: the JSON snapshot — every bucket count, sum, and
+// quantile input — must be byte-identical for any harness worker
+// count and, for volume experiments, for any engine shard count. The
+// per-shard-member registries merge in member index order, so the
+// sharded run must reproduce the shared-engine snapshot exactly.
+// The cheap specs pin the jobs axis on its own; volume-scale (a
+// 10-configuration matrix, the expensive spec) turns jobs=8 and
+// sharding on together, so one comparison covers both axes.
+func TestMetricsDeterminism(t *testing.T) {
+	shards := runtime.NumCPU()
+	if shards < 2 {
+		shards = 4
+	}
+	for _, spec := range []struct {
+		id    string
+		short bool // runs in -short mode too
+	}{
+		{"table2", true},
+		{"faults", true},
+		{"volume-scale", false},
+	} {
+		spec := spec
+		t.Run(spec.id, func(t *testing.T) {
+			if testing.Short() && !spec.short {
+				t.Skip("volume matrix simulation in -short mode")
+			}
+			base := metricsJSON(t, spec.id, equivOptions(), 1)
+			o := equivOptions()
+			if spec.id == "volume-scale" {
+				o.Shards = shards // sharding only applies to volume specs
+			}
+			if got := metricsJSON(t, spec.id, o, 8); got != base {
+				t.Errorf("%s: jobs=8 shards=%d metrics snapshot differs from jobs=1 shards=1",
+					spec.id, o.Shards)
 			}
 		})
 	}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/fs"
 	"repro/internal/hotlist"
+	"repro/internal/metrics"
 	"repro/internal/rig"
 	"repro/internal/sched"
 	"repro/internal/seek"
@@ -249,7 +250,7 @@ func Execute(ctx context.Context, s Setup) (*Run, error) {
 	// zero-cost path.
 	col := telemetry.FromContext(ctx)
 	var schedCount *sched.Counting
-	if col != nil && col.SamplePeriodMS() > 0 {
+	if col != nil && (col.SamplePeriodMS() > 0 || col.MetricsEnabled()) {
 		schedCount = sched.NewCounting(schedPolicy)
 		schedPolicy = schedCount
 	}
@@ -355,6 +356,17 @@ func Execute(ctx context.Context, s Setup) (*Run, error) {
 		registerRearrangerProbes(col, rear)
 		registerFaultProbes(col, r)
 		col.StartSampler(r.Eng)
+	}
+	if col != nil && col.MetricsEnabled() {
+		// Bind after populate so the distributions cover only measured
+		// traffic, like ReadStats discarding populate noise below.
+		reg := col.Metrics()
+		r.Driver.BindMetrics(reg)
+		schedCount.BindMetrics(reg)
+		fsys.BindMetrics(reg)
+		if b, ok := w.(interface{ BindMetrics(*metrics.Registry) }); ok {
+			b.BindMetrics(reg)
+		}
 	}
 
 	run := &Run{Setup: s, Curve: model.Seek}

@@ -3,11 +3,13 @@ package experiment
 import (
 	"context"
 	"fmt"
+	"strconv"
 
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/fs"
+	"repro/internal/metrics"
 	"repro/internal/runner"
 	"repro/internal/telemetry"
 	"repro/internal/volume"
@@ -190,6 +192,23 @@ func ExecuteVolume(ctx context.Context, s VolumeSetup) (*VolumePoint, error) {
 		registerVolumeProbes(col, v)
 		col.StartSampler(v.Eng)
 	}
+	// Each member driver gets a private registry labeled with its disk
+	// index, merged into the collector's after the run — the same
+	// shard-then-fan-in shape as the event engine. Binding happens here,
+	// between coordinator windows, so member goroutines observe the
+	// bound histograms before the next window starts.
+	var memberRegs []*metrics.Registry
+	if col != nil && col.MetricsEnabled() {
+		reg := col.Metrics()
+		v.BindMetrics(reg)
+		fsys.BindMetrics(reg)
+		w.BindMetrics(reg)
+		for i, m := range v.Members {
+			mreg := metrics.NewRegistry()
+			m.Driver.BindMetrics(mreg, metrics.Label{Key: "disk", Value: strconv.Itoa(i)})
+			memberRegs = append(memberRegs, mreg)
+		}
+	}
 
 	pt := &VolumePoint{
 		Config:     s.Config,
@@ -258,6 +277,14 @@ func ExecuteVolume(ctx context.Context, s VolumeSetup) (*VolumePoint, error) {
 	pt.WorkloadErrors = w.Errors()
 	if col != nil {
 		col.SetEngineEvents(v.Dispatched())
+	}
+	// Fan the per-member registries into the collector's, in member
+	// index order: names carry disk labels, so every member's metrics
+	// land as distinct entries in a deterministic order.
+	for i, mreg := range memberRegs {
+		if err := col.Metrics().Merge(mreg); err != nil {
+			return nil, fmt.Errorf("experiment: merging member %d metrics: %w", i, err)
+		}
 	}
 	return pt, nil
 }

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/driver"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -157,6 +158,11 @@ type FS struct {
 	// freeRead heads the pool of ReadAt walk records (see readReq in
 	// ops.go). Single-threaded like the rest of the file system.
 	freeRead *readReq
+
+	// mxRead/mxWrite are end-to-end file operation latency histograms,
+	// nil until BindMetrics.
+	mxRead  *metrics.Histogram
+	mxWrite *metrics.Histogram
 }
 
 // Newfs formats the partition and returns a mounted file system with an
@@ -253,6 +259,17 @@ func (f *FS) Cache() *cache.Cache { return f.cache }
 
 // MetaCache returns the file system's metadata cache.
 func (f *FS) MetaCache() *cache.Cache { return f.meta }
+
+// BindMetrics registers the file system's metrics in reg: end-to-end
+// ReadAt/WriteAt latency histograms (recorded from the moment of
+// binding, so bind after populate) and the two caches' hit/miss/
+// writeback counters under cache="data" and cache="meta" labels.
+func (f *FS) BindMetrics(reg *metrics.Registry) {
+	f.mxRead = reg.Histogram("fs_read_ms", metrics.HistogramOpts{})
+	f.mxWrite = reg.Histogram("fs_write_ms", metrics.HistogramOpts{})
+	f.cache.BindMetrics(reg, "data")
+	f.meta.BindMetrics(reg, "meta")
+}
 
 // StartSyncDaemon starts the periodic update policy on both caches.
 func (f *FS) StartSyncDaemon() {

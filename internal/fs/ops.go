@@ -323,6 +323,16 @@ func (h *Handle) WriteAt(idx, n int64, done func(error)) {
 		f.fail1(done, ErrFileTooBig)
 		return
 	}
+	if f.mxWrite != nil {
+		start := f.eng.Now()
+		inner := done
+		done = func(err error) {
+			f.mxWrite.Record(f.eng.Now() - start)
+			if inner != nil {
+				inner(err)
+			}
+		}
+	}
 
 	perGroup := len(f.groups[0].inodeUsed)
 	gi := int(h.ino) / perGroup
@@ -415,6 +425,9 @@ func (h *Handle) ReadAt(idx, n int64, done func([][]byte, error)) {
 		return
 	}
 	r := f.getRead()
+	if f.mxRead != nil {
+		r.startMS = f.eng.Now()
+	}
 	r.nd, r.ino, r.idx, r.n, r.b = nd, h.ino, idx, n, idx
 	r.done = done
 	r.out = make([][]byte, 0, n)
@@ -441,12 +454,15 @@ type readReq struct {
 	ino    Ino
 	idx, n int64
 	b      int64 // next file block to read
-	out    [][]byte
-	done   func([][]byte, error)
-	meta   [2]int64 // metadata prelude: inode block, then indirect
-	mi, mn int
-	metaCB func([]byte, error)
-	dataCB func([]byte, error)
+	// startMS is the walk's start time, set only while read-latency
+	// metrics are bound.
+	startMS float64
+	out     [][]byte
+	done    func([][]byte, error)
+	meta    [2]int64 // metadata prelude: inode block, then indirect
+	mi, mn  int
+	metaCB  func([]byte, error)
+	dataCB  func([]byte, error)
 }
 
 // getRead pops a walk record off the pool, building its callbacks on
@@ -500,6 +516,9 @@ func (r *readReq) step() {
 // the callback can issue a new read that reuses it.
 func (r *readReq) finish(out [][]byte, err error) {
 	f, done := r.f, r.done
+	if f.mxRead != nil {
+		f.mxRead.Record(f.eng.Now() - r.startMS)
+	}
 	r.nd, r.done, r.out = nil, nil, nil
 	r.next, f.freeRead = f.freeRead, r
 	if done != nil {

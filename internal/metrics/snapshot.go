@@ -1,0 +1,64 @@
+package metrics
+
+// Snapshot is a registry rendered to pure data: no funcs, no live
+// state, safe to serialize and compare byte-for-byte.
+type Snapshot struct {
+	Metrics []MetricSnap `json:"metrics"`
+}
+
+// MetricSnap is one metric's snapshot. Value carries counter and gauge
+// readings; Hist is set for histograms.
+type MetricSnap struct {
+	Name  string    `json:"name"`
+	Kind  string    `json:"kind"`
+	Value float64   `json:"value,omitempty"`
+	Hist  *HistSnap `json:"hist,omitempty"`
+}
+
+// HistSnap is a histogram snapshot: the bucket layout, the exact
+// count/sum/min/max, and the non-empty buckets in ascending index
+// order. Quantiles are computed on demand so the snapshot stays small
+// and the estimator can evolve without re-recording.
+type HistSnap struct {
+	SubBits int      `json:"sub_bits"`
+	MinExp  int      `json:"min_exp"`
+	MaxExp  int      `json:"max_exp"`
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	Min     float64  `json:"min,omitempty"`
+	Max     float64  `json:"max,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one non-empty histogram bucket.
+type Bucket struct {
+	Index int   `json:"i"`
+	Count int64 `json:"n"`
+}
+
+// Mean returns the arithmetic mean, 0 if empty.
+func (s *HistSnap) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile mirrors Histogram.Quantile over the sparse bucket list.
+func (s *HistSnap) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	need := quantileRank(q, s.Count)
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= need {
+			if ub := bucketUpper(s.SubBits, s.MinExp, s.MaxExp, b.Index); ub < s.Max {
+				return ub
+			}
+			return s.Max
+		}
+	}
+	return s.Max
+}

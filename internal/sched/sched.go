@@ -12,7 +12,11 @@
 // benchmarks quantify that claim.
 package sched
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
 
 // Cylindered is anything with a target cylinder — the only property a
 // head scheduler needs.
@@ -167,6 +171,7 @@ type Counting struct {
 	inner  Scheduler
 	picks  int64
 	queued int64 // sum of pending-queue lengths at pick time
+	hist   *metrics.Histogram
 }
 
 // NewCounting returns a counting wrapper around inner.
@@ -179,7 +184,18 @@ func (c *Counting) Name() string { return c.inner.Name() }
 func (c *Counting) Pick(headCyl int, pending []Cylindered) int {
 	c.picks++
 	c.queued += int64(len(pending))
+	if c.hist != nil {
+		c.hist.Record(float64(len(pending)))
+	}
 	return c.inner.Pick(headCyl, pending)
+}
+
+// BindMetrics registers the pending-queue-length distribution in reg:
+// one observation per dispatch decision from the moment of binding.
+// Queue lengths are small integers, so the histogram uses single-unit
+// precision at the bottom of its range.
+func (c *Counting) BindMetrics(reg *metrics.Registry, labels ...metrics.Label) {
+	c.hist = reg.Histogram("sched_queue_len", metrics.HistogramOpts{MinExp: -1, MaxExp: 20}, labels...)
 }
 
 // Picks returns the number of dispatch decisions made.

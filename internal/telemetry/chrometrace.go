@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// chromeLine mirrors the JSONL span/fault keys written by AppendJSONL.
+// Booleans arrive as 0/1 integers.
+type chromeLine struct {
+	K     string  `json:"k"`
+	T     float64 `json:"t"`
+	W     int     `json:"w"`
+	Int   int     `json:"int"`
+	Orig  int64   `json:"orig"`
+	Sec   int64   `json:"sec"`
+	N     int64   `json:"n"`
+	QD    int     `json:"qd"`
+	Arr   float64 `json:"arr"`
+	Disp  float64 `json:"disp"`
+	Seek  float64 `json:"seek"`
+	Rot   float64 `json:"rot"`
+	Xfer  float64 `json:"xfer"`
+	Done  float64 `json:"done"`
+	Dist  int     `json:"dist"`
+	Redir int     `json:"redir"`
+	BH    int     `json:"bh"`
+	Class string  `json:"class"`
+	Act   string  `json:"act"`
+	Try   int     `json:"try"`
+	Disk  *int    `json:"disk"` // pointer: absent means untagged
+}
+
+// WriteChromeTrace converts a JSONL span stream (as written by
+// abrsim -trace) into the Chrome trace-event JSON array format, loadable
+// in about://tracing or https://ui.perfetto.dev.
+//
+// Each member disk becomes one timeline row (tid). A span renders as a
+// complete ("X") event over its service interval [disp, done) — device
+// service is serialized per disk, so rows never overlap — with queueing
+// and the seek/rotation/transfer breakdown in args. Fault actions render
+// as instant ("i") events on the same row. Timestamps convert from
+// simulated milliseconds to trace microseconds. Request ("req") lines
+// are skipped: they describe pre-translation arrivals already visible as
+// span args. The conversion is streaming and deterministic.
+func WriteChromeTrace(w io.Writer, r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	b := []byte("[{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"abrsim\"}}")
+	named := map[int]bool{}
+	line := 0
+	flush := func() error {
+		if len(b) < 32*1024 {
+			return nil
+		}
+		_, err := w.Write(b)
+		b = b[:0]
+		return err
+	}
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var e chromeLine
+		if err := json.Unmarshal(text, &e); err != nil {
+			return fmt.Errorf("telemetry: chrome trace: line %d: %w", line, err)
+		}
+		disk := 0
+		if e.Disk != nil {
+			disk = *e.Disk
+		}
+		if !named[disk] && (e.K == "span" || e.K == "fault") {
+			named[disk] = true
+			b = append(b, `,{"name":"thread_name","ph":"M","pid":0,"tid":`...)
+			b = strconv.AppendInt(b, int64(disk), 10)
+			b = append(b, `,"args":{"name":"disk `...)
+			b = strconv.AppendInt(b, int64(disk), 10)
+			b = append(b, `"}}`...)
+		}
+		switch e.K {
+		case "span":
+			b = append(b, `,{"name":"`...)
+			if e.Int == 1 {
+				b = append(b, "internal "...)
+			}
+			if e.W == 1 {
+				b = append(b, "write"...)
+			} else {
+				b = append(b, "read"...)
+			}
+			b = append(b, `","cat":"io","ph":"X","pid":0,"tid":`...)
+			b = strconv.AppendInt(b, int64(disk), 10)
+			b = append(b, `,"ts":`...)
+			b = appendFloat(b, e.Disp*1000)
+			b = append(b, `,"dur":`...)
+			b = appendFloat(b, (e.Done-e.Disp)*1000)
+			b = append(b, `,"args":{"sector":`...)
+			b = strconv.AppendInt(b, e.Sec, 10)
+			b = append(b, `,"sectors":`...)
+			b = strconv.AppendInt(b, e.N, 10)
+			b = append(b, `,"queue_depth":`...)
+			b = strconv.AppendInt(b, int64(e.QD), 10)
+			b = append(b, `,"queue_ms":`...)
+			b = appendFloat(b, e.Disp-e.Arr)
+			b = append(b, `,"seek_ms":`...)
+			b = appendFloat(b, e.Seek)
+			b = append(b, `,"rot_ms":`...)
+			b = appendFloat(b, e.Rot)
+			b = append(b, `,"xfer_ms":`...)
+			b = appendFloat(b, e.Xfer)
+			b = append(b, `,"seek_cylinders":`...)
+			b = strconv.AppendInt(b, int64(e.Dist), 10)
+			b = append(b, `,"redirected":`...)
+			b = strconv.AppendInt(b, int64(e.Redir), 10)
+			b = append(b, `,"buffer_hit":`...)
+			b = strconv.AppendInt(b, int64(e.BH), 10)
+			b = append(b, `}}`...)
+		case "fault":
+			b = append(b, `,{"name":"fault: `...)
+			b = append(b, e.Class...)
+			b = append(b, ' ')
+			b = append(b, e.Act...)
+			b = append(b, `","cat":"fault","ph":"i","s":"t","pid":0,"tid":`...)
+			b = strconv.AppendInt(b, int64(disk), 10)
+			b = append(b, `,"ts":`...)
+			b = appendFloat(b, e.T*1000)
+			b = append(b, `,"args":{"sector":`...)
+			b = strconv.AppendInt(b, e.Sec, 10)
+			b = append(b, `,"attempt":`...)
+			b = strconv.AppendInt(b, int64(e.Try), 10)
+			b = append(b, `}}`...)
+		default:
+			// req lines and future kinds: no timeline representation.
+			continue
+		}
+		if err := flush(); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("telemetry: chrome trace: %w", err)
+	}
+	b = append(b, ']', '\n')
+	_, err := w.Write(b)
+	return err
+}

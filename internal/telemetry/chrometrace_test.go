@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// buildSpanJSONL renders a small mixed stream through the real encoder,
+// so the converter is tested against the actual JSONL schema.
+func buildSpanJSONL(t *testing.T) []byte {
+	t.Helper()
+	var b []byte
+	b = AppendJSONL(b, &Event{Kind: KindRequest, TimeMS: 1, Part: 0, Block: 9})
+	b = AppendJSONL(b, &Event{
+		Kind: KindSpan, Write: false, Orig: 100, Sector: 100, Count: 8,
+		QueueDepth: 2, ArriveMS: 1, DispatchMS: 1.5, SeekMS: 4, RotMS: 5,
+		TransferMS: 0.5, CompleteMS: 11, SeekDist: 40,
+	})
+	b = AppendJSONL(b, &Event{
+		Kind: KindSpan, Write: true, Internal: true, Disk: 3, Sector: 7,
+		Count: 1, ArriveMS: 12, DispatchMS: 12, CompleteMS: 13, Redirected: true,
+	})
+	b = AppendJSONL(b, &Event{
+		Kind: KindFault, TimeMS: 20, Sector: 55, Count: 1, Write: true,
+		Class: "transient", Action: "retry", Attempt: 1, Disk: 3,
+	})
+	return b
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	var out bytes.Buffer
+	if err := WriteChromeTrace(&out, bytes.NewReader(buildSpanJSONL(t))); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(out.Bytes(), &events); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, out.String())
+	}
+	byName := map[string][]map[string]any{}
+	for _, e := range events {
+		name, _ := e["name"].(string)
+		byName[name] = append(byName[name], e)
+	}
+	read := byName["read"]
+	if len(read) != 1 {
+		t.Fatalf("want 1 read event, got %d", len(read))
+	}
+	// ts/dur are the service interval in microseconds.
+	if read[0]["ts"].(float64) != 1500 || read[0]["dur"].(float64) != 9500 {
+		t.Errorf("read ts/dur = %v/%v, want 1500/9500", read[0]["ts"], read[0]["dur"])
+	}
+	args := read[0]["args"].(map[string]any)
+	if args["queue_ms"].(float64) != 0.5 || args["seek_ms"].(float64) != 4 {
+		t.Errorf("read args = %v", args)
+	}
+	iw := byName["internal write"]
+	if len(iw) != 1 || iw[0]["tid"].(float64) != 2 {
+		t.Fatalf("internal write on wrong row: %v (disk tag is 1-based in Event, 0-based in output)", iw)
+	}
+	fault := byName["fault: transient retry"]
+	if len(fault) != 1 || fault[0]["ph"].(string) != "i" || fault[0]["ts"].(float64) != 20000 {
+		t.Fatalf("fault event = %v", fault)
+	}
+	// Metadata rows: process plus one thread_name per disk row seen.
+	if n := len(byName["thread_name"]); n != 2 {
+		t.Errorf("want 2 thread_name metadata events, got %d", n)
+	}
+	// The req line contributes nothing.
+	for _, e := range events {
+		if cat, _ := e["cat"].(string); cat == "" && e["ph"] != "M" {
+			t.Errorf("unexpected uncategorized event %v", e)
+		}
+	}
+}
+
+func TestWriteChromeTraceDeterministic(t *testing.T) {
+	in := buildSpanJSONL(t)
+	var a, c bytes.Buffer
+	if err := WriteChromeTrace(&a, bytes.NewReader(in)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&c, bytes.NewReader(in)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Error("conversion is not deterministic")
+	}
+}
+
+func TestWriteChromeTraceErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := WriteChromeTrace(&out, strings.NewReader("{broken\n")); err == nil {
+		t.Error("malformed line did not error")
+	}
+	out.Reset()
+	// Empty input still yields a valid (metadata-only) array.
+	if err := WriteChromeTrace(&out, strings.NewReader("")); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(out.Bytes(), &events); err != nil {
+		t.Errorf("empty conversion invalid: %v", err)
+	}
+}

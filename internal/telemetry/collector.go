@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -19,6 +20,10 @@ type Options struct {
 	// SamplePeriodMS, when positive, starts the periodic sampler at
 	// this simulated-time interval.
 	SamplePeriodMS float64
+	// Metrics gives the collector a metrics.Registry, which the
+	// experiment harness binds into the simulated stack (driver, sched,
+	// cache, volume, fs, workload) once populate completes.
+	Metrics bool
 }
 
 // Collector buffers one simulation job's telemetry: the JSONL event
@@ -40,6 +45,8 @@ type Collector struct {
 	samples   int64
 
 	engineEvents int64
+
+	reg *metrics.Registry
 }
 
 type probe struct {
@@ -49,8 +56,25 @@ type probe struct {
 
 // NewCollector returns a collector for the named job.
 func NewCollector(name string, opts Options) *Collector {
-	return &Collector{name: name, opts: opts}
+	c := &Collector{name: name, opts: opts}
+	if opts.Metrics {
+		c.reg = metrics.NewRegistry()
+	}
+	return c
 }
+
+// Metrics returns the job's metric registry, nil unless Options.Metrics
+// was set.
+func (c *Collector) Metrics() *metrics.Registry {
+	if c == nil {
+		return nil
+	}
+	return c.reg
+}
+
+// MetricsEnabled reports whether the collector carries a registry. Safe
+// on a nil collector, like FromContext's result.
+func (c *Collector) MetricsEnabled() bool { return c != nil && c.reg != nil }
 
 // Name returns the owning job's name.
 func (c *Collector) Name() string { return c.name }
@@ -186,6 +210,23 @@ func WriteCSV(w io.Writer, cols []*Collector) error {
 		}
 	}
 	return nil
+}
+
+// MetricsSnapshots renders each collector's registry in job order —
+// the metrics analogue of WriteTrace/WriteCSV concatenation, and
+// byte-identical for any worker or shard count for the same reason.
+// Snapshot resolves func-backed metrics against live model state, so
+// call this only after every job has completed. Collectors without a
+// registry are skipped.
+func MetricsSnapshots(cols []*Collector) []metrics.JobSnapshot {
+	var out []metrics.JobSnapshot
+	for _, c := range cols {
+		if c == nil || c.reg == nil {
+			continue
+		}
+		out = append(out, metrics.JobSnapshot{Job: c.name, Metrics: c.reg.Snapshot().Metrics})
+	}
+	return out
 }
 
 // SampleRow is one parsed sampler row.

@@ -44,6 +44,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/label"
+	"repro/internal/metrics"
 	"repro/internal/rig"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -178,6 +179,13 @@ type Volume struct {
 	targets []int
 
 	stats Stats
+	// cumDegraded counts degraded mirror requests over the volume's
+	// lifetime, unaffected by ResetStats — the feed for the
+	// volume_degraded metric.
+	cumDegraded int64
+	// mxResp, when non-nil, receives one volume-level response time
+	// per completed request. Bound by BindMetrics.
+	mxResp *metrics.Histogram
 }
 
 // Volume is a BlockDevice: fs and cache mount it like a single disk.
@@ -415,6 +423,18 @@ func (v *Volume) Stats() Stats {
 	return s
 }
 
+// BindMetrics registers the volume-level instruments in reg: the
+// response-time distribution (request entry to fan-in completion, one
+// observation per request from the moment of binding), the lifetime
+// count of degraded mirror requests, and the current number of dead
+// members. Call it from the fan-in goroutine; per-member driver
+// metrics are bound separately on each member.
+func (v *Volume) BindMetrics(reg *metrics.Registry) {
+	v.mxResp = reg.Histogram("volume_resp_ms", metrics.HistogramOpts{})
+	reg.CounterFunc("volume_degraded", func() int64 { return v.cumDegraded })
+	reg.GaugeFunc("volume_dead_members", func() float64 { return float64(v.DeadMembers()) })
+}
+
 // ResetStats clears the volume-level statistics (member drivers keep
 // their own counters).
 func (v *Volume) ResetStats() {
@@ -503,7 +523,11 @@ func (v *Volume) getReq() *vreq {
 		r = &vreq{v: v}
 		r.finishCB = func(data []byte, err error) {
 			vol := r.v
-			vol.stats.RespMSSum += vol.Eng.Now() - r.start
+			resp := vol.Eng.Now() - r.start
+			vol.stats.RespMSSum += resp
+			if vol.mxResp != nil {
+				vol.mxResp.Record(resp)
+			}
 			if err != nil {
 				vol.stats.Errors++
 			}
@@ -519,6 +543,7 @@ func (v *Volume) getReq() *vreq {
 				// member is out of rotation once Dead() reports it.
 				vol := r.v
 				vol.stats.Degraded++
+				vol.cumDegraded++
 				r.k++
 				i := r.order[r.k]
 				vol.stats.PerDisk[i]++
@@ -588,6 +613,7 @@ func (v *Volume) ReadBlock(part int, blk int64, done driver.DoneFunc) {
 	}
 	if len(r.order) < len(v.Members) {
 		v.stats.Degraded++
+		v.cumDegraded++
 	}
 	r.blk = blk
 	i := r.order[0]
@@ -676,6 +702,7 @@ func (v *Volume) WriteBlock(part int, blk int64, data []byte, done driver.DoneFu
 	}
 	if len(targets) < len(v.Members) {
 		v.stats.Degraded++
+		v.cumDegraded++
 	}
 	r.pending = len(targets)
 	for _, i := range targets {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fs"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -112,6 +113,7 @@ type System struct {
 	day   int
 
 	errs int64
+	hist *metrics.Histogram
 }
 
 // NewSystem returns a system workload over the given file system.
@@ -131,6 +133,13 @@ func (w *System) Name() string { return "system" }
 
 // Errors returns the number of failed operations (0 in a healthy run).
 func (w *System) Errors() int64 { return w.errs }
+
+// BindMetrics registers the end-to-end job latency distribution
+// (submit to completion per client operation, in simulated ms) in reg.
+// Only days run after binding are observed.
+func (w *System) BindMetrics(reg *metrics.Registry) {
+	w.hist = reg.Histogram("workload_job_ms", metrics.HistogramOpts{})
+}
 
 // Files returns the number of populated files.
 func (w *System) Files() int { return len(w.files) }
@@ -233,6 +242,7 @@ func (w *System) RunDay(day int, done func(error)) {
 		rnd:   w.rnd.Split(),
 		n:     w.cfg.Clients,
 		think: w.cfg.ThinkMeanMS,
+		hist:  w.hist,
 		job: func(_ int, next func()) {
 			// One job: the executable plus Libs shared libraries. The
 			// process demand-pages them together, so the block reads of

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fs"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -110,6 +111,7 @@ type Users struct {
 	users []*user
 	day   int
 	errs  int64
+	hist  *metrics.Histogram
 }
 
 // NewUsers returns a users workload over the given file system.
@@ -129,6 +131,13 @@ func (w *Users) Name() string { return "users" }
 
 // Errors returns the number of failed operations.
 func (w *Users) Errors() int64 { return w.errs }
+
+// BindMetrics registers the end-to-end job latency distribution
+// (submit to completion per user session, in simulated ms) in reg.
+// Only days run after binding are observed.
+func (w *Users) BindMetrics(reg *metrics.Registry) {
+	w.hist = reg.Histogram("workload_job_ms", metrics.HistogramOpts{})
+}
 
 // Populate creates each user's home directory and initial files, then
 // starts the update daemon. The mount stays read/write.
@@ -247,6 +256,7 @@ func (w *Users) RunDay(day int, done func(error)) {
 		rnd:   w.rnd.Split(),
 		n:     len(actives),
 		think: w.cfg.ThinkMeanMS,
+		hist:  w.hist,
 		job: func(c int, next func()) {
 			w.session(actives[c], next)
 		},

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"repro/internal/fs"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -67,6 +68,9 @@ type clientPool struct {
 	think float64
 	// job runs one client operation and calls next when it completes.
 	job func(client int, next func())
+	// hist, when non-nil, receives one end-to-end job latency (submit
+	// to completion, in simulated ms) per finished job.
+	hist *metrics.Histogram
 }
 
 // run schedules the pool over [start, end) and calls done when every
@@ -76,11 +80,17 @@ func (p *clientPool) run(start, end float64, done func(error)) {
 	for c := 0; c < p.n; c++ {
 		c := c
 		var loop func()
+		var begin float64
 		// One think-then-loop continuation per client, not one per job:
 		// the pool schedules millions of jobs per simulated day, and the
 		// continuation closure was the generator's last steady-state
 		// allocation.
-		rearm := func() { p.eng.After(p.rnd.Exp(p.think), loop) }
+		finish := func() {
+			if p.hist != nil {
+				p.hist.Record(p.eng.Now() - begin)
+			}
+			p.eng.After(p.rnd.Exp(p.think), loop)
+		}
 		loop = func() {
 			if p.eng.Now() >= end {
 				active--
@@ -89,7 +99,10 @@ func (p *clientPool) run(start, end float64, done func(error)) {
 				}
 				return
 			}
-			p.job(c, rearm)
+			if p.hist != nil {
+				begin = p.eng.Now()
+			}
+			p.job(c, finish)
 		}
 		p.eng.At(start+p.rnd.Exp(p.think), loop)
 	}
