@@ -96,6 +96,12 @@ func benches(shard int) []bench {
 		// identical between the two by the exact-merge contract.
 		{name: "volume-scale-sharded", id: "volume-scale",
 			opts: experiment.Options{Days: 2, WindowMS: 15 * 60 * 1000, Shards: shard}},
+		// The multi-tenant server front end: network hops, token
+		// buckets, admission control and the breaker layered on every
+		// request, with 20k tenant buckets live. Tenants pinned so the
+		// row measures one population, not the registered sweep.
+		{name: "tenant-scale", id: "tenant-scale",
+			opts: experiment.Options{WindowMS: 15 * 60 * 1000, Tenants: 20000}},
 	}
 }
 

@@ -38,6 +38,12 @@
 // mirroring, per-member rearrangement, a mirror with one member
 // killed mid-run); its per-member plans are part of the matrix, so
 // -fault-plan does not apply to it.
+//
+// Tenant scale: the "tenant-scale" experiment puts the multi-tenant
+// server front end (simulated network, per-tenant token buckets,
+// admission control, circuit breaker) over the volume layer; -tenants
+// pins the population, -net-lat/-net-bw shape the simulated link, and
+// -qos forces admission control on or off across the matrix.
 package main
 
 import (
@@ -77,10 +83,21 @@ func main() {
 	faultPlan := flag.String("fault-plan", "", `inject device faults per this plan (e.g. "seed=3;twrite=1e-4;bad=40000-40015")`)
 	faultSeed := flag.Uint64("fault-seed", 0, "override the fault plan's seed (implies an empty plan if -fault-plan is unset)")
 	crashAfter := flag.Int64("crash-after", 0, "power loss after this many device operations (adds to the fault plan)")
+	tenants := flag.Int("tenants", 0, "tenant-scale: pin the tenant population (0 = the registered sweep)")
+	netLat := flag.Float64("net-lat", 0, "tenant-scale: one-way network latency in ms (0 = default 0.2)")
+	netBW := flag.Float64("net-bw", 0, "tenant-scale: network bandwidth in MB/s (0 = default 100, negative = unlimited)")
+	qos := flag.String("qos", "", `tenant-scale: force admission control "on" or "off" ("" = per-row setting)`)
 	flag.Usage = usage
 	flag.Parse()
 
-	o := experiment.Options{Days: *days, Seed: *seed, Jobs: *jobs, Shards: *shard}
+	if *qos != "" && *qos != "on" && *qos != "off" {
+		fmt.Fprintf(os.Stderr, "abrsim: unknown -qos %q (want on or off)\n", *qos)
+		os.Exit(2)
+	}
+	o := experiment.Options{
+		Days: *days, Seed: *seed, Jobs: *jobs, Shards: *shard,
+		Tenants: *tenants, NetLatencyMS: *netLat, NetBandwidthMBps: *netBW, QoS: *qos,
+	}
 	plan, err := buildFaultPlan(*faultPlan, *faultSeed, *crashAfter)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "abrsim:", err)
@@ -154,6 +171,7 @@ var flagGroups = []struct {
 	{"simulation", []string{"exp", "days", "hours", "seed", "jobs", "shard", "timeout"}},
 	{"observability", []string{"trace", "sample", "telemetry", "metrics", "metrics-format", "pprof"}},
 	{"fault injection", []string{"fault-plan", "fault-seed", "crash-after"}},
+	{"tenant scale", []string{"tenants", "net-lat", "net-bw", "qos"}},
 }
 
 // usage prints the grouped flag help plus the registry's experiment

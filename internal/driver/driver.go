@@ -437,6 +437,10 @@ type Counters struct {
 	Retries     int64
 	Remaps      int64
 	Unrecovered int64
+	// BackoffMS accumulates the simulated time spent waiting between
+	// retry re-issues — how long the retry ladder actually cost, where
+	// Retries only says how often it ran.
+	BackoffMS float64
 }
 
 // Counters returns the driver's lifetime counters.
@@ -475,6 +479,7 @@ func (d *Driver) BindMetrics(reg *metrics.Registry, labels ...metrics.Label) {
 	reg.CounterFunc("driver_retries", func() int64 { return d.cum.Retries }, labels...)
 	reg.CounterFunc("driver_remaps", func() int64 { return d.cum.Remaps }, labels...)
 	reg.CounterFunc("driver_unrecovered", func() int64 { return d.cum.Unrecovered }, labels...)
+	reg.GaugeFunc("driver_backoff_ms", func() float64 { return d.cum.BackoffMS }, labels...)
 }
 
 // Outstanding returns the number of requests in the driver: queued
@@ -785,6 +790,7 @@ func (d *Driver) handleError(r *ioreq, err error) {
 			d.cum.Retries++
 			d.emitFault(r, fe, "retry")
 			backoff := d.cfg.RetryBaseMS * float64(int64(1)<<(r.attempt-1))
+			d.cum.BackoffMS += backoff
 			d.eng.After(backoff, func() { d.issue(r) })
 			return
 		}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/label"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -76,6 +77,11 @@ func TestTransientErrorsRetryAndRecover(t *testing.T) {
 	if c.Unrecovered != 0 {
 		t.Errorf("unrecovered = %d", c.Unrecovered)
 	}
+	// Every retry waits at least RetryBaseMS, so the cumulative backoff
+	// is bounded below by one base delay per retry.
+	if min := float64(c.Retries) * drv.cfg.RetryBaseMS; c.BackoffMS < min {
+		t.Errorf("BackoffMS = %v, want >= %v for %d retries", c.BackoffMS, min, c.Retries)
+	}
 	var retryEvents int
 	for _, e := range ring.Events() {
 		if e.Kind == telemetry.KindFault {
@@ -90,6 +96,24 @@ func TestTransientErrorsRetryAndRecover(t *testing.T) {
 	}
 	if drv.Outstanding() != 0 {
 		t.Errorf("Outstanding = %d", drv.Outstanding())
+	}
+	// The retry ladder's totals must surface in a metrics snapshot: the
+	// func-backed counters resolve at snapshot time, so binding after
+	// the run still exposes the lifetime values.
+	reg := metrics.NewRegistry()
+	drv.BindMetrics(reg)
+	got := map[string]float64{}
+	for _, m := range reg.Snapshot().Metrics {
+		got[m.Name] = m.Value
+	}
+	if got["driver_retries"] != float64(c.Retries) {
+		t.Errorf("driver_retries = %v, want %d", got["driver_retries"], c.Retries)
+	}
+	if got["driver_faults"] != float64(c.Faults) {
+		t.Errorf("driver_faults = %v, want %d", got["driver_faults"], c.Faults)
+	}
+	if got["driver_backoff_ms"] != c.BackoffMS {
+		t.Errorf("driver_backoff_ms = %v, want %v", got["driver_backoff_ms"], c.BackoffMS)
 	}
 }
 

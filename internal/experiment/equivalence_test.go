@@ -20,9 +20,11 @@ import (
 // experiment families whose numbers the paper's tables quote (table2:
 // on/off, table7: placement policies), the two fault-tolerance
 // extensions ("faults", "crash"), whose retry/backoff timing is the
-// most sensitive to event-ordering changes, and the multi-disk volume
+// most sensitive to event-ordering changes, the multi-disk volume
 // matrix ("volume-scale"), whose fan-out/fan-in ordering across member
-// disks sharing one engine is locked here.
+// disks sharing one engine is locked here, and the multi-tenant server
+// matrix ("tenant-scale"), which layers the network, QoS, and breaker
+// event traffic on top of the volume fan-in.
 //
 // Regenerate with UPDATE_EQUIV_GOLDEN=1 go test ./internal/experiment
 // -run TestEngineEquivalenceGolden — but only when an intentional
@@ -49,6 +51,7 @@ var equivSpecs = []struct {
 	{"crash", true},
 	{"table7", false},
 	{"volume-scale", false},
+	{"tenant-scale", false},
 }
 
 // renderSpec gathers one spec on the given worker count and renders its
@@ -138,6 +141,7 @@ func TestShardedVolumeEquivalence(t *testing.T) {
 		{"table2", true},
 		{"faults", true},
 		{"volume-scale", false},
+		{"tenant-scale", false},
 	} {
 		spec := spec
 		t.Run(spec.id, func(t *testing.T) {
@@ -200,10 +204,12 @@ func TestMetricsDeterminism(t *testing.T) {
 	for _, spec := range []struct {
 		id    string
 		short bool // runs in -short mode too
+		shard bool // volume-backed: exercise engine shards too
 	}{
-		{"table2", true},
-		{"faults", true},
-		{"volume-scale", false},
+		{"table2", true, false},
+		{"faults", true, false},
+		{"volume-scale", false, true},
+		{"tenant-scale", false, true},
 	} {
 		spec := spec
 		t.Run(spec.id, func(t *testing.T) {
@@ -212,8 +218,8 @@ func TestMetricsDeterminism(t *testing.T) {
 			}
 			base := metricsJSON(t, spec.id, equivOptions(), 1)
 			o := equivOptions()
-			if spec.id == "volume-scale" {
-				o.Shards = shards // sharding only applies to volume specs
+			if spec.shard {
+				o.Shards = shards // sharding only applies to volume-backed specs
 			}
 			if got := metricsJSON(t, spec.id, o, 8); got != base {
 				t.Errorf("%s: jobs=8 shards=%d metrics snapshot differs from jobs=1 shards=1",

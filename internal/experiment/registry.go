@@ -147,6 +147,7 @@ func init() {
 	registerShared()
 	registerFaults()
 	registerVolume()
+	registerTenants()
 	registerGroups()
 }
 

@@ -15,7 +15,7 @@ func TestRegistryHasAllIDs(t *testing.T) {
 		"table1", "table2", "table3", "table4", "table5",
 		"table6", "table7", "table8", "table9", "table10",
 		"fig4", "fig5", "fig6", "fig7", "fig8",
-		"shared", "faults", "crash", "volume-scale",
+		"shared", "faults", "crash", "volume-scale", "tenant-scale",
 		"onoff-system", "onoff-users", "policies", "sweep", "all",
 	}
 	ids := IDs()

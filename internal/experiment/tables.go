@@ -41,6 +41,18 @@ type Options struct {
 	// volume.Options.Shards). Single-disk experiments have one member
 	// and ignore it. Results are byte-identical for any value.
 	Shards int
+	// Tenants above 0 collapses the tenant-scale population sweep to
+	// this single tenant count and resizes the scenario rows (abrsim
+	// -tenants). Other experiments ignore it.
+	Tenants int
+	// NetLatencyMS and NetBandwidthMBps override the tenant-scale
+	// simulated link (abrsim -net-lat, -net-bw); zeros keep the server
+	// defaults (0.2 ms, 100 MB/s).
+	NetLatencyMS     float64
+	NetBandwidthMBps float64
+	// QoS forces tenant-scale admission control "on" or "off" across
+	// the matrix (abrsim -qos); "" keeps each row's own setting.
+	QoS string
 }
 
 func (o Options) days(def int) int {

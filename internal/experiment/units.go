@@ -38,6 +38,10 @@ const (
 	// volume configuration (disk count, stripe unit, mirror policy,
 	// rearrangement, degraded mirror).
 	NeedVolume
+	// NeedTenants is the multi-tenant server front-end matrix: one run
+	// per tenant-scale configuration (population sweep, noisy-neighbor
+	// QoS pair, mirror-member-death breaker scenario).
+	NeedTenants
 	needCount
 )
 
@@ -60,6 +64,8 @@ func (n Need) String() string {
 		return "crash"
 	case NeedVolume:
 		return "volume"
+	case NeedTenants:
+		return "tenants"
 	}
 	return fmt.Sprintf("need(%d)", int(n))
 }
@@ -76,6 +82,7 @@ type ResultSet struct {
 	Faults   []FaultPoint
 	Crash    []CrashPoint
 	Volume   []VolumePoint
+	Tenants  []TenantPoint
 
 	// Collectors holds each simulation job's telemetry collector in
 	// job order when Options.Telemetry was set; nil otherwise.
@@ -263,6 +270,8 @@ func needUnits(n Need, o Options) []unit {
 		return crashUnits()
 	case NeedVolume:
 		return volumeUnits(o)
+	case NeedTenants:
+		return tenantUnits(o)
 	}
 	panic(fmt.Sprintf("experiment: unknown need %d", int(n)))
 }

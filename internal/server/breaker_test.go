@@ -1,0 +1,207 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// fill feeds n outcomes into a closed breaker at time now.
+func fill(b *Breaker, now float64, n int, failed, missed bool) {
+	for i := 0; i < n; i++ {
+		b.Record(now, failed, missed, false)
+	}
+}
+
+func TestBreakerTripsOnErrorRate(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Window: 8, MinSamples: 4, ErrorRate: 0.5})
+	fill(b, 0, 3, true, false)
+	if b.State(0) != BreakerClosed {
+		t.Fatal("tripped below MinSamples")
+	}
+	b.Record(0, true, false, false)
+	if b.State(0) != BreakerOpen {
+		t.Fatal("4 failures in 4 samples at ErrorRate 0.5 did not trip")
+	}
+	if c := b.Counts(); c.Opened != 1 {
+		t.Errorf("Opened = %d, want 1", c.Opened)
+	}
+	if ok, _ := b.Allow(1); ok {
+		t.Error("open breaker admitted a request")
+	}
+	if c := b.Counts(); c.Rejected != 1 {
+		t.Errorf("Rejected = %d, want 1", c.Rejected)
+	}
+}
+
+func TestBreakerTripsOnMissRate(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Window: 8, MinSamples: 4, MissRate: 0.5, ErrorRate: -1})
+	fill(b, 0, 8, false, true)
+	if b.State(0) != BreakerOpen {
+		t.Fatal("all-miss window did not trip on MissRate")
+	}
+}
+
+func TestBreakerDisabledTriggers(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Window: 8, MinSamples: 4, ErrorRate: -1, MissRate: -1})
+	fill(b, 0, 100, true, true)
+	if b.State(0) != BreakerClosed {
+		t.Fatal("breaker tripped with both triggers disabled")
+	}
+}
+
+func TestBreakerRollingWindowEvicts(t *testing.T) {
+	// Errors older than the window must stop counting. Six failures
+	// total would trip at ErrorRate 0.6 (6/8 = 0.75) if they counted
+	// forever; with the ring, the successes in between evict the first
+	// burst and the breaker stays closed.
+	b := NewBreaker(BreakerConfig{Window: 8, MinSamples: 8, ErrorRate: 0.6})
+	fill(b, 0, 4, true, false)
+	fill(b, 0, 5, false, false)
+	fill(b, 0, 2, true, false)
+	if b.State(0) != BreakerClosed {
+		t.Fatal("evicted failures still tripped the breaker")
+	}
+	// A dense burst inside one window does trip: 5 of the last 8
+	// outcomes failed (0.625 >= 0.6).
+	fill(b, 0, 3, true, false)
+	if b.State(0) != BreakerOpen {
+		t.Fatal("5 failures inside one window did not trip at ErrorRate 0.6")
+	}
+}
+
+func TestBreakerRecoveryCycle(t *testing.T) {
+	cfg := BreakerConfig{Window: 8, MinSamples: 4, ErrorRate: 0.5, CooldownMS: 100, HalfOpenProbes: 2}
+	b := NewBreaker(cfg)
+	fill(b, 0, 4, true, false)
+	if b.State(0) != BreakerOpen {
+		t.Fatal("did not trip")
+	}
+	if b.State(99) != BreakerOpen {
+		t.Fatal("half-opened before the cooldown elapsed")
+	}
+	if b.State(100) != BreakerHalfOpen {
+		t.Fatal("did not half-open after the cooldown")
+	}
+	if c := b.Counts(); c.HalfOpened != 1 {
+		t.Errorf("HalfOpened = %d, want 1", c.HalfOpened)
+	}
+	// Exactly HalfOpenProbes admissions, all flagged as probes.
+	for i := 0; i < 2; i++ {
+		ok, probe := b.Allow(101)
+		if !ok || !probe {
+			t.Fatalf("probe %d: ok=%v probe=%v", i, ok, probe)
+		}
+	}
+	if ok, _ := b.Allow(101); ok {
+		t.Fatal("half-open admitted beyond its probe budget")
+	}
+	// A straggler from before the trip is discarded half-open.
+	b.Record(102, true, true, false)
+	if b.State(102) != BreakerHalfOpen {
+		t.Fatal("non-probe outcome moved a half-open breaker")
+	}
+	// Both probes succeed: closed, with a clean window.
+	b.Record(103, false, false, true)
+	b.Record(103, false, false, true)
+	if b.State(103) != BreakerClosed {
+		t.Fatal("all probes succeeding did not close the breaker")
+	}
+	if c := b.Counts(); c.Closed != 1 {
+		t.Errorf("Closed = %d, want 1", c.Closed)
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	cfg := BreakerConfig{Window: 8, MinSamples: 4, ErrorRate: 0.5, CooldownMS: 100, HalfOpenProbes: 2}
+	b := NewBreaker(cfg)
+	fill(b, 0, 4, true, false)
+	if _, probe := b.Allow(100); !probe {
+		t.Fatal("expected a probe admission")
+	}
+	b.Record(101, true, false, true)
+	if b.State(101) != BreakerOpen {
+		t.Fatal("probe failure did not reopen the breaker")
+	}
+	if c := b.Counts(); c.Opened != 2 {
+		t.Errorf("Opened = %d, want 2 (trip + reopen)", c.Opened)
+	}
+	// The cooldown restarts from the reopen.
+	if b.State(200) != BreakerOpen {
+		t.Fatal("cooldown did not restart on reopen")
+	}
+	if b.State(201) != BreakerHalfOpen {
+		t.Fatal("did not half-open after the restarted cooldown")
+	}
+}
+
+func TestBreakerProbeAbortedFreesSlot(t *testing.T) {
+	cfg := BreakerConfig{Window: 8, MinSamples: 4, ErrorRate: 0.5, CooldownMS: 100, HalfOpenProbes: 1}
+	b := NewBreaker(cfg)
+	fill(b, 0, 4, true, false)
+	if _, probe := b.Allow(100); !probe {
+		t.Fatal("expected a probe admission")
+	}
+	if ok, _ := b.Allow(100); ok {
+		t.Fatal("second admission with one probe slot")
+	}
+	// The probe was rejected downstream (throttle/queue) and never
+	// reached the backend: the slot must come back, or recovery would
+	// deadlock waiting on an outcome that cannot arrive.
+	b.ProbeAborted()
+	ok, probe := b.Allow(100)
+	if !ok || !probe {
+		t.Fatal("aborted probe slot was not reusable")
+	}
+	b.Record(101, false, false, true)
+	if b.State(101) != BreakerClosed {
+		t.Fatal("reissued probe's success did not close the breaker")
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for s, want := range map[BreakerState]string{
+		BreakerClosed: "closed", BreakerOpen: "open", BreakerHalfOpen: "half-open", BreakerState(9): "unknown",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+// TestBreakerDeterminism replays a random outcome schedule twice and
+// requires the transition history to match exactly.
+func TestBreakerDeterminism(t *testing.T) {
+	const seed = 0xC1AC
+	t.Logf("seed=%#x", seed)
+	run := func() ([]BreakerState, BreakerCounts) {
+		rnd := sim.NewRand(seed)
+		b := NewBreaker(BreakerConfig{Window: 16, MinSamples: 8, ErrorRate: 0.4, MissRate: 0.4, CooldownMS: 200, HalfOpenProbes: 3})
+		var states []BreakerState
+		now := 0.0
+		for i := 0; i < 20000; i++ {
+			now += rnd.Exp(20)
+			ok, probe := b.Allow(now)
+			if ok {
+				// Failures come in bursts so the breaker actually cycles.
+				burst := int(now/5000)%2 == 0
+				b.Record(now, burst && rnd.Bool(0.7), burst && rnd.Bool(0.5), probe)
+			}
+			states = append(states, b.State(now))
+		}
+		return states, b.Counts()
+	}
+	s1, c1 := run()
+	s2, c2 := run()
+	if c1 != c2 {
+		t.Fatalf("counts differ between identical replays: %+v vs %+v", c1, c2)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("state %d differs between identical replays", i)
+		}
+	}
+	if c1.Opened == 0 || c1.HalfOpened == 0 || c1.Closed == 0 {
+		t.Errorf("schedule did not exercise the full cycle: %+v", c1)
+	}
+}
