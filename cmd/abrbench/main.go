@@ -102,6 +102,11 @@ func benches(shard int) []bench {
 		// row measures one population, not the registered sweep.
 		{name: "tenant-scale", id: "tenant-scale",
 			opts: experiment.Options{WindowMS: 15 * 60 * 1000, Tenants: 20000}},
+		// The parity matrix: every foreground write pays the RAID-5/6
+		// read-modify-write, plus degraded reconstruction, a hot-spare
+		// rebuild, and scrub sweeps interleaving with the workload.
+		{name: "raid-rebuild", id: "raid-rebuild",
+			opts: experiment.Options{Days: 2, WindowMS: 15 * 60 * 1000}},
 	}
 }
 
@@ -119,9 +124,10 @@ type Result struct {
 	Allocs       uint64  `json:"allocs"`
 	AllocsPerEvt float64 `json:"allocs_per_event"`
 	Bytes        uint64  `json:"bytes"`
-	// Volume holds the volume-scale matrix's per-configuration simulated
-	// throughputs (deterministic, unlike the wall-clock fields); empty
-	// for every other benchmark.
+	// Volume holds the volume-backed matrices' per-configuration
+	// simulated throughputs (deterministic, unlike the wall-clock
+	// fields): the volume-scale rows, and the raid-rebuild parity rows;
+	// empty for every other benchmark.
 	Volume []VolBench `json:"volume,omitempty"`
 }
 
@@ -244,7 +250,7 @@ func runBench(b bench, reps, jobs int) (Result, []metrics.JobSnapshot, error) {
 		if events > 0 {
 			r.AllocsPerEvt = float64(r.Allocs) / float64(events)
 		}
-		for _, p := range rs.Volume {
+		for _, p := range append(rs.Volume, rs.RAID...) {
 			r.Volume = append(r.Volume, VolBench{
 				Config:       p.Config,
 				Disks:        p.Disks,

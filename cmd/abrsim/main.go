@@ -44,6 +44,13 @@
 // admission control, circuit breaker) over the volume layer; -tenants
 // pins the population, -net-lat/-net-bw shape the simulated link, and
 // -qos forces admission control on or off across the matrix.
+//
+// Parity layouts: the "raid-rebuild" experiment drives the workload
+// over rotating-parity RAID-5 and double-parity RAID-6 volumes —
+// healthy, degraded after a member death, rebuilding onto a hot spare,
+// scrubbing a planted latent sector error, and surviving a double
+// fault. -layout collapses the matrix to one row ("raid5" or "raid6");
+// -spare, -rebuild-rate, and -scrub-interval configure that row.
 package main
 
 import (
@@ -87,6 +94,10 @@ func main() {
 	netLat := flag.Float64("net-lat", 0, "tenant-scale: one-way network latency in ms (0 = default 0.2)")
 	netBW := flag.Float64("net-bw", 0, "tenant-scale: network bandwidth in MB/s (0 = default 100, negative = unlimited)")
 	qos := flag.String("qos", "", `tenant-scale: force admission control "on" or "off" ("" = per-row setting)`)
+	layout := flag.String("layout", "", `raid-rebuild: collapse the matrix to one row of this layout ("raid5" or "raid6")`)
+	spare := flag.Int("spare", 0, "raid-rebuild: hot spares for the -layout row")
+	rebuildRate := flag.Float64("rebuild-rate", 0, "raid-rebuild: rebuild/scrub throttle for the -layout row, member blocks per simulated second (0 = default 200)")
+	scrubInterval := flag.Duration("scrub-interval", 0, "raid-rebuild: scrub period in sim time for the -layout row (0 = scrub off)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -94,9 +105,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "abrsim: unknown -qos %q (want on or off)\n", *qos)
 		os.Exit(2)
 	}
+	if *layout != "" && *layout != "raid5" && *layout != "raid6" {
+		fmt.Fprintf(os.Stderr, "abrsim: unknown -layout %q (want raid5 or raid6)\n", *layout)
+		os.Exit(2)
+	}
 	o := experiment.Options{
 		Days: *days, Seed: *seed, Jobs: *jobs, Shards: *shard,
 		Tenants: *tenants, NetLatencyMS: *netLat, NetBandwidthMBps: *netBW, QoS: *qos,
+		RAIDLayout: *layout, RAIDSpare: *spare, RebuildRate: *rebuildRate,
+		ScrubIntervalMS: scrubInterval.Seconds() * 1000,
 	}
 	plan, err := buildFaultPlan(*faultPlan, *faultSeed, *crashAfter)
 	if err != nil {
@@ -172,6 +189,7 @@ var flagGroups = []struct {
 	{"observability", []string{"trace", "sample", "telemetry", "metrics", "metrics-format", "pprof"}},
 	{"fault injection", []string{"fault-plan", "fault-seed", "crash-after"}},
 	{"tenant scale", []string{"tenants", "net-lat", "net-bw", "qos"}},
+	{"parity layouts", []string{"layout", "spare", "rebuild-rate", "scrub-interval"}},
 }
 
 // usage prints the grouped flag help plus the registry's experiment

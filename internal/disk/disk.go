@@ -384,20 +384,37 @@ func (d *Disk) readData(sector int64, count int) []byte {
 	return out
 }
 
-// writeData stores data starting at sector, allocating pages as needed.
+// writeData stores data starting at sector, allocating pages as
+// needed. Writing zeros to a sector whose page was never materialized
+// is a no-op: the store is sparse and unwritten sectors already read
+// as zeros, so a whole-device pass (a RAID rebuild copying a mostly
+// empty member onto a spare) does not materialize the empty regions.
 func (d *Disk) writeData(sector int64, data []byte) {
 	count := len(data) / geom.SectorSize
 	for i := 0; i < count; i++ {
 		s := sector + int64(i)
 		key := s / pageSectors
+		chunk := data[i*geom.SectorSize : (i+1)*geom.SectorSize]
 		page, ok := d.pages[key]
 		if !ok {
+			if allZero(chunk) {
+				continue
+			}
 			page = make([]byte, pageSectors*geom.SectorSize)
 			d.pages[key] = page
 		}
 		off := (s % pageSectors) * geom.SectorSize
-		copy(page[off:off+geom.SectorSize], data[i*geom.SectorSize:(i+1)*geom.SectorSize])
+		copy(page[off:off+geom.SectorSize], chunk)
 	}
+}
+
+func allZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // PeekData returns the stored contents of a sector range without

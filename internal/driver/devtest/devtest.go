@@ -18,7 +18,9 @@
 //     runs inside the issuing call;
 //   - death: after the harness's Kill hook, requests either fail with
 //     driver.ErrDead (unwrapping to fault.ErrCrash) or, for redundant
-//     devices, keep succeeding with the data intact.
+//     devices, keep succeeding with the data intact; and once the
+//     Overwhelm hook pushes losses beyond the redundancy budget, a
+//     redundant device fails requests with the same ErrDead taxonomy.
 package devtest
 
 import (
@@ -53,8 +55,14 @@ type Harness struct {
 	// DeadIsFatal reports the device's death semantics: true when
 	// requests to DeadBlock must fail with driver.ErrDead after Kill
 	// (single disk, concat, stripe), false when the device must keep
-	// serving them (mirror).
+	// serving them (mirror, RAID-5/6 within the parity budget).
 	DeadIsFatal bool
+	// Overwhelm, when non-nil on a redundant harness, kills enough
+	// additional members to exceed the redundancy budget (the mirror's
+	// last replica, one more member than a parity layout covers). After
+	// it runs, requests to DeadBlock must fail with driver.ErrDead
+	// unwrapping to fault.ErrCrash, like any fatal device.
+	Overwhelm func()
 }
 
 // Builder constructs a fresh device harness. kill is true when the
@@ -274,5 +282,19 @@ func testDead(t *testing.T, h *Harness) {
 	}
 	if got, err := h.read(t, h.DeadBlock); err != nil || !bytes.Equal(got, h.block(0x77)) {
 		t.Fatalf("readback after degraded write: err=%v", err)
+	}
+	if h.Overwhelm == nil {
+		return
+	}
+	// Beyond the redundancy budget the device converges on the fatal
+	// taxonomy: ErrDead, unwrapping to the crash underneath.
+	h.Overwhelm()
+	if _, err := h.read(t, h.DeadBlock); !errors.Is(err, driver.ErrDead) {
+		t.Errorf("read beyond redundancy budget: err = %v, want ErrDead", err)
+	} else if !errors.Is(err, fault.ErrCrash) {
+		t.Errorf("read beyond redundancy budget: err = %v does not unwrap to fault.ErrCrash", err)
+	}
+	if err := h.write(t, h.DeadBlock, h.block(0x78)); !errors.Is(err, driver.ErrDead) {
+		t.Errorf("write beyond redundancy budget: err = %v, want ErrDead", err)
 	}
 }

@@ -1,5 +1,5 @@
 // The conformance battery applied to every BlockDevice in the tree:
-// the single-disk driver and all three volume layouts, the volumes in
+// the single-disk driver and all five volume layouts, the volumes in
 // both execution modes (shared engine and coordinator shards).
 package devtest
 
@@ -49,23 +49,30 @@ func driverHarness(t *testing.T, kill bool) *Harness {
 
 // volumeHarness builds a volume device harness. The kill plan crashes
 // member 1 on its first device operation; deadBlk locates a block that
-// member serves.
-func volumeHarness(t *testing.T, opts volume.Options, kill bool, deadBlk func(v *volume.Volume) int64) *Harness {
+// member serves. overwhelm lists additional members the Overwhelm hook
+// kills to push losses beyond a redundant layout's budget; they get
+// lazier crash plans the normal battery traffic cannot trip.
+func volumeHarness(t *testing.T, opts volume.Options, kill bool, deadBlk func(v *volume.Volume) int64, overwhelm ...int) *Harness {
 	t.Helper()
 	if kill {
 		opts.Faults = make([]*fault.Plan, opts.Disks)
 		opts.Faults[1] = &fault.Plan{CrashAfterOps: 1}
+		for _, m := range overwhelm {
+			opts.Faults[m] = &fault.Plan{CrashAfterOps: 64}
+		}
 	}
 	v, err := volume.New(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(v.Close)
+	redundant := opts.Layout == volume.Mirror ||
+		opts.Layout == volume.RAID5 || opts.Layout == volume.RAID6
 	h := &Harness{
 		Dev:         v,
 		Run:         v.Run,
 		Blocks:      v.Blocks(),
-		DeadIsFatal: opts.Layout != volume.Mirror,
+		DeadIsFatal: !redundant,
 	}
 	if kill {
 		h.DeadBlock = deadBlk(v)
@@ -79,6 +86,22 @@ func volumeHarness(t *testing.T, opts volume.Options, kill bool, deadBlk func(v 
 			}
 			if !v.Members[1].Driver.Dead() {
 				t.Fatal("kill hook did not kill member 1")
+			}
+		}
+		if len(overwhelm) > 0 {
+			h.Overwhelm = func() {
+				// Raw member traffic trips each lazy plan without going
+				// through the (still redundant) volume.
+				for _, m := range overwhelm {
+					drv := v.Members[m].Driver
+					for i := 0; i < 128 && !drv.Dead(); i++ {
+						drv.ReadBlock(0, 0, nil)
+						v.Run()
+					}
+					if !drv.Dead() {
+						t.Fatalf("overwhelm hook did not kill member %d", m)
+					}
+				}
 			}
 		}
 	}
@@ -106,7 +129,29 @@ func TestStripeConformance(t *testing.T) {
 func TestMirrorConformance(t *testing.T) {
 	TestDevice(t, func(t *testing.T, kill bool) *Harness {
 		return volumeHarness(t, volume.Options{Layout: volume.Mirror, Disks: 2}, kill,
-			func(v *volume.Volume) int64 { return 0 })
+			func(v *volume.Volume) int64 { return 0 }, 0)
+	})
+}
+
+// RAID-5 on 3 members, one-block stripe units. Block 1 lands on data
+// slot 1 of row 0 (parity rotates onto slot 2 there), so killing
+// member 1 forces reconstruction for that block; killing member 0 as
+// well exceeds the single-parity budget.
+func TestRAID5Conformance(t *testing.T) {
+	TestDevice(t, func(t *testing.T, kill bool) *Harness {
+		return volumeHarness(t, volume.Options{Layout: volume.RAID5, Disks: 3, StripeUnit: 1}, kill,
+			func(v *volume.Volume) int64 { return 1 }, 0)
+	})
+}
+
+// RAID-6 on 4 members: row 0 puts P on slot 3, Q on slot 0, data
+// columns on slots 1 and 2. Block 0 lives on member 1; with member 1
+// dead the layout still covers another loss, so overwhelming takes
+// two more members (2 and 3).
+func TestRAID6Conformance(t *testing.T) {
+	TestDevice(t, func(t *testing.T, kill bool) *Harness {
+		return volumeHarness(t, volume.Options{Layout: volume.RAID6, Disks: 4, StripeUnit: 1}, kill,
+			func(v *volume.Volume) int64 { return 0 }, 2, 3)
 	})
 }
 
@@ -130,6 +175,20 @@ func TestStripeShardedConformance(t *testing.T) {
 func TestMirrorShardedConformance(t *testing.T) {
 	TestDevice(t, func(t *testing.T, kill bool) *Harness {
 		return volumeHarness(t, volume.Options{Layout: volume.Mirror, Disks: 2, Shards: 2}, kill,
-			func(v *volume.Volume) int64 { return 0 })
+			func(v *volume.Volume) int64 { return 0 }, 0)
+	})
+}
+
+func TestRAID5ShardedConformance(t *testing.T) {
+	TestDevice(t, func(t *testing.T, kill bool) *Harness {
+		return volumeHarness(t, volume.Options{Layout: volume.RAID5, Disks: 3, StripeUnit: 1, Shards: 2}, kill,
+			func(v *volume.Volume) int64 { return 1 }, 0)
+	})
+}
+
+func TestRAID6ShardedConformance(t *testing.T) {
+	TestDevice(t, func(t *testing.T, kill bool) *Harness {
+		return volumeHarness(t, volume.Options{Layout: volume.RAID6, Disks: 4, StripeUnit: 1, Shards: 2}, kill,
+			func(v *volume.Volume) int64 { return 0 }, 2, 3)
 	})
 }

@@ -22,9 +22,12 @@ import (
 // extensions ("faults", "crash"), whose retry/backoff timing is the
 // most sensitive to event-ordering changes, the multi-disk volume
 // matrix ("volume-scale"), whose fan-out/fan-in ordering across member
-// disks sharing one engine is locked here, and the multi-tenant server
+// disks sharing one engine is locked here, the multi-tenant server
 // matrix ("tenant-scale"), which layers the network, QoS, and breaker
-// event traffic on top of the volume fan-in.
+// event traffic on top of the volume fan-in, and the parity matrix
+// ("raid-rebuild"), whose degraded reconstruction, background rebuild,
+// and scrub traffic interleave with foreground requests through the
+// row locks.
 //
 // Regenerate with UPDATE_EQUIV_GOLDEN=1 go test ./internal/experiment
 // -run TestEngineEquivalenceGolden — but only when an intentional
@@ -45,20 +48,30 @@ func equivOptions() Options {
 var equivSpecs = []struct {
 	id    string
 	short bool // runs in -short mode too
+	days  int  // override equivOptions().Days when > 0
 }{
-	{"table2", true},
-	{"faults", true},
-	{"crash", true},
-	{"table7", false},
-	{"volume-scale", false},
-	{"tenant-scale", false},
+	{id: "table2", short: true},
+	{id: "faults", short: true},
+	{id: "crash", short: true},
+	{id: "table7"},
+	{id: "volume-scale"},
+	{id: "tenant-scale"},
+	// One day, not two: the parity matrix has no rearrangement (nothing
+	// distinguishes day 1 from day 0) and six rows at full fan-out, so
+	// the second day would only double the battery's wall clock.
+	{id: "raid-rebuild", days: 1},
 }
 
 // renderSpec gathers one spec on the given worker count and renders its
-// reports exactly as abrsim prints them.
-func renderSpec(t *testing.T, id string, workers int) string {
+// reports exactly as abrsim prints them. days > 0 overrides the fixed
+// day count.
+func renderSpec(t *testing.T, id string, days, workers int) string {
 	t.Helper()
-	return renderSpecOpts(t, id, equivOptions(), workers)
+	o := equivOptions()
+	if days > 0 {
+		o.Days = days
+	}
+	return renderSpecOpts(t, id, o, workers)
 }
 
 // renderSpecOpts is renderSpec with explicit options, for the sharded
@@ -85,7 +98,7 @@ func TestEngineEquivalenceGolden(t *testing.T) {
 			if testing.Short() && !spec.short {
 				t.Skip("policy matrix simulation in -short mode")
 			}
-			got := renderSpec(t, spec.id, 1)
+			got := renderSpec(t, spec.id, spec.days, 1)
 			path := filepath.Join("testdata", "equiv", spec.id+".golden")
 			if os.Getenv("UPDATE_EQUIV_GOLDEN") != "" {
 				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
@@ -109,7 +122,7 @@ func TestEngineEquivalenceGolden(t *testing.T) {
 			// The parallel gather must agree byte-for-byte with the
 			// sequential one — the runner's ordering contract, re-checked
 			// here because the pooled engine must stay job-private.
-			if par := renderSpec(t, spec.id, 8); par != got {
+			if par := renderSpec(t, spec.id, spec.days, 8); par != got {
 				t.Errorf("%s: jobs=8 output differs from jobs=1", spec.id)
 			}
 		})
@@ -137,11 +150,13 @@ func TestShardedVolumeEquivalence(t *testing.T) {
 	for _, spec := range []struct {
 		id    string
 		short bool // runs in -short mode too
+		days  int  // override equivOptions().Days when > 0 (must match equivSpecs)
 	}{
-		{"table2", true},
-		{"faults", true},
-		{"volume-scale", false},
-		{"tenant-scale", false},
+		{id: "table2", short: true},
+		{id: "faults", short: true},
+		{id: "volume-scale"},
+		{id: "tenant-scale"},
+		{id: "raid-rebuild", days: 1},
 	} {
 		spec := spec
 		t.Run(spec.id, func(t *testing.T) {
@@ -154,6 +169,9 @@ func TestShardedVolumeEquivalence(t *testing.T) {
 				t.Fatalf("reading golden (generate with UPDATE_EQUIV_GOLDEN=1): %v", err)
 			}
 			o := equivOptions()
+			if spec.days > 0 {
+				o.Days = spec.days
+			}
 			o.Shards = shards
 			got := renderSpecOpts(t, spec.id, o, 1)
 			if got != string(want) {

@@ -148,6 +148,7 @@ func init() {
 	registerFaults()
 	registerVolume()
 	registerTenants()
+	registerRAID()
 	registerGroups()
 }
 

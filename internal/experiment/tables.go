@@ -53,6 +53,16 @@ type Options struct {
 	// QoS forces tenant-scale admission control "on" or "off" across
 	// the matrix (abrsim -qos); "" keeps each row's own setting.
 	QoS string
+	// RAIDLayout collapses the raid-rebuild matrix to one custom row of
+	// the given layout ("raid5" or "raid6"; abrsim -layout); "" keeps
+	// the full matrix. RAIDSpare, RebuildRate, and ScrubIntervalMS
+	// configure that custom row (abrsim -spare, -rebuild-rate,
+	// -scrub-interval); they are ignored when RAIDLayout is unset, so
+	// zero values reproduce the committed matrix exactly.
+	RAIDLayout      string
+	RAIDSpare       int
+	RebuildRate     float64
+	ScrubIntervalMS float64
 }
 
 func (o Options) days(def int) int {

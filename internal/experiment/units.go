@@ -42,6 +42,10 @@ const (
 	// per tenant-scale configuration (population sweep, noisy-neighbor
 	// QoS pair, mirror-member-death breaker scenario).
 	NeedTenants
+	// NeedRAID is the parity-layout matrix: one run per RAID-5/6
+	// configuration (healthy, degraded, hot-spare rebuild, latent-error
+	// scrub, double fault).
+	NeedRAID
 	needCount
 )
 
@@ -66,6 +70,8 @@ func (n Need) String() string {
 		return "volume"
 	case NeedTenants:
 		return "tenants"
+	case NeedRAID:
+		return "raid"
 	}
 	return fmt.Sprintf("need(%d)", int(n))
 }
@@ -83,6 +89,7 @@ type ResultSet struct {
 	Crash    []CrashPoint
 	Volume   []VolumePoint
 	Tenants  []TenantPoint
+	RAID     []VolumePoint
 
 	// Collectors holds each simulation job's telemetry collector in
 	// job order when Options.Telemetry was set; nil otherwise.
@@ -272,6 +279,8 @@ func needUnits(n Need, o Options) []unit {
 		return volumeUnits(o)
 	case NeedTenants:
 		return tenantUnits(o)
+	case NeedRAID:
+		return raidUnits(o)
 	}
 	panic(fmt.Sprintf("experiment: unknown need %d", int(n)))
 }

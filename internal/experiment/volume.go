@@ -33,6 +33,13 @@ type VolumeSetup struct {
 	Disks      int
 	StripeUnit int
 	ReadPolicy volume.ReadPolicy
+	// Spare, RebuildRate and ScrubIntervalMS configure the parity
+	// layouts' hot spares, rebuild throttle, and scrub daemon
+	// (volume.Options); zeros keep the volume defaults (no spare, 200
+	// blocks/s, no scrub).
+	Spare           int
+	RebuildRate     float64
+	ScrubIntervalMS float64
 	// Rearrange runs a per-member adaptive rearranger, rearranging
 	// every member overnight (after day 0) from its own monitoring
 	// table.
@@ -103,10 +110,16 @@ type VolumePoint struct {
 	MeanRespMS float64
 	// PerDisk counts member operations by disk index.
 	PerDisk []int64
-	// Degraded counts mirror requests served with a member missing;
+	// Degraded counts redundant requests served with a member missing;
 	// DeadMembers is how many members had died by the end of the run.
 	Degraded    int64
 	DeadMembers int
+	// RAID carries the parity layouts' cumulative counters (degraded
+	// reads, parity recomputes, rebuild and scrub progress); zero for
+	// the non-parity layouts. SparesLeft is how many hot spares remain
+	// unconsumed at the end of the run.
+	RAID       volume.RAIDStats
+	SparesLeft int
 	// Installed sums the blocks installed by per-member rearrangements.
 	Installed int
 	// WorkloadErrors counts failed file operations.
@@ -130,10 +143,13 @@ func ExecuteVolume(ctx context.Context, s VolumeSetup) (*VolumePoint, error) {
 		ReadPolicy: s.ReadPolicy,
 		// Members always carry the Toshiba reserved region so layouts
 		// are geometry-identical whether or not rearrangement runs.
-		ReservedCyls: 48,
-		Faults:       s.Faults,
-		Telemetry:    col,
-		Shards:       s.Shards,
+		ReservedCyls:    48,
+		Spare:           s.Spare,
+		RebuildRate:     s.RebuildRate,
+		ScrubIntervalMS: s.ScrubIntervalMS,
+		Faults:          s.Faults,
+		Telemetry:       col,
+		Shards:          s.Shards,
 	})
 	if err != nil {
 		return nil, err
@@ -157,6 +173,7 @@ func ExecuteVolume(ctx context.Context, s VolumeSetup) (*VolumePoint, error) {
 		return nil, err
 	}
 	v.Run() // format completes before any daemon exists
+	v.StartScrub()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -217,7 +234,7 @@ func ExecuteVolume(ctx context.Context, s VolumeSetup) (*VolumePoint, error) {
 		StripeUnit: s.StripeUnit,
 		Policy:     string(s.ReadPolicy),
 		Rearrange:  s.Rearrange,
-		PerDisk:    make([]int64, s.Disks),
+		PerDisk:    make([]int64, s.Disks+s.Spare), // spare rigs count too
 	}
 	for day := 0; day < s.Days; day++ {
 		if err := ctx.Err(); err != nil {
@@ -274,6 +291,8 @@ func ExecuteVolume(ctx context.Context, s VolumeSetup) (*VolumePoint, error) {
 		pt.Throughput = float64(pt.Requests) / simSec
 	}
 	pt.DeadMembers = v.DeadMembers()
+	pt.RAID = v.RAID()
+	pt.SparesLeft = v.Spares()
 	pt.WorkloadErrors = w.Errors()
 	if col != nil {
 		col.SetEngineEvents(v.Dispatched())

@@ -87,6 +87,73 @@ func TestMirrorWriteRoundTripZeroAllocs(t *testing.T) {
 	}
 }
 
+// RAID parity budgets are looser than the mirror's: the read-modify-
+// write cycle pulls old data, P (and Q) off the member disks, and each
+// member read materializes a fresh buffer (the same ownership transfer
+// as the plain read path) before the deltas fold into pooled scratch.
+// Everything else — the request record, per-slot callbacks, row locks,
+// parity buffers — is pooled and must not allocate.
+func TestRAID5WriteRoundTripAllocFloor(t *testing.T) {
+	v := mustNew(t, Options{Layout: RAID5, Disks: 4, StripeUnit: 4})
+	data := blockOf(0x5a)
+	done := func(_ []byte, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	blk := int64(0)
+	if n := steadyState(t, v, func() {
+		v.WriteBlock(0, blk%64, data, done)
+		blk++
+		v.Run()
+	}); n > 2 {
+		t.Errorf("raid5 write round trip: %v allocs, want at most 2 (old data + old parity reads)", n)
+	}
+}
+
+func TestRAID6WriteRoundTripAllocFloor(t *testing.T) {
+	v := mustNew(t, Options{Layout: RAID6, Disks: 5, StripeUnit: 4})
+	data := blockOf(0x5a)
+	done := func(_ []byte, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	blk := int64(0)
+	if n := steadyState(t, v, func() {
+		v.WriteBlock(0, blk%64, data, done)
+		blk++
+		v.Run()
+	}); n > 3 {
+		t.Errorf("raid6 write round trip: %v allocs, want at most 3 (old data + old P + old Q reads)", n)
+	}
+}
+
+func TestRAID5ReadRoundTripOneAlloc(t *testing.T) {
+	// A healthy parity read is a plain single-member read: one
+	// allocation for the returned buffer, nothing for parity.
+	v := mustNew(t, Options{Layout: RAID5, Disks: 4, StripeUnit: 4})
+	data := blockOf(0x5a)
+	for k := int64(0); k < 64; k++ {
+		if err := write(t, v, k, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := func(got []byte, err error) {
+		if err != nil || len(got) == 0 {
+			t.Fatal("bad read completion")
+		}
+	}
+	blk := int64(0)
+	if n := steadyState(t, v, func() {
+		v.ReadBlock(0, blk%64, done)
+		blk++
+		v.Run()
+	}); n > 1 {
+		t.Errorf("raid5 read round trip: %v allocs, want at most 1 (the data buffer)", n)
+	}
+}
+
 func TestMirrorReadRoundTripOneAlloc(t *testing.T) {
 	// Shortest-queue exercises the policy sort as well; it must stay
 	// allocation-free too.

@@ -1,0 +1,172 @@
+package volume
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Config is the textual volume-layout grammar, the volume-side
+// counterpart of fault.ParsePlan's plan grammar: a layout name,
+// optionally followed by key=value directives,
+//
+//	layout[:key=value[,key=value...]]
+//
+// for example
+//
+//	stripe:disks=4,unit=16
+//	mirror:disks=2,policy=shortest-queue
+//	raid5:disks=4,spare=1,rebuild-rate=400,scrub-interval=600000
+//	raid6:disks=6,unit=8
+//
+// Directives may be separated by ',' or ';'; later directives
+// override earlier ones; unset fields stay zero and take the package
+// defaults at New. ParseConfig and String round-trip: any accepted
+// spec renders to a canonical form that re-parses to the same Config.
+type Config struct {
+	Layout          Layout
+	Disks           int
+	StripeUnit      int
+	ReadPolicy      ReadPolicy
+	Spare           int
+	RebuildRate     float64
+	ScrubIntervalMS float64
+}
+
+// ParseConfig parses the layout grammar above, rejecting unknown
+// layouts, unknown keys, and out-of-range values (member counts below
+// the layout's floor, spares or scrub on non-parity layouts, and so
+// on), so an accepted Config is always constructible modulo sizing.
+func ParseConfig(spec string) (Config, error) {
+	var c Config
+	name, rest, _ := strings.Cut(spec, ":")
+	switch c.Layout = Layout(strings.TrimSpace(name)); c.Layout {
+	case Concat, Stripe, Mirror, RAID5, RAID6:
+	default:
+		return Config{}, fmt.Errorf("volume: unknown layout %q", name)
+	}
+	for _, tok := range strings.FieldsFunc(rest, func(r rune) bool { return r == ';' || r == ',' }) {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("volume: directive %q is not key=value", tok)
+		}
+		switch key {
+		case "disks":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 || n > 64 {
+				return Config{}, fmt.Errorf("volume: disk count %q outside [0, 64]", val)
+			}
+			c.Disks = n
+		case "unit":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 || n > 4096 {
+				return Config{}, fmt.Errorf("volume: stripe unit %q outside [0, 4096]", val)
+			}
+			c.StripeUnit = n
+		case "policy":
+			switch p := ReadPolicy(val); p {
+			case RoundRobin, ShortestQueue:
+				c.ReadPolicy = p
+			default:
+				return Config{}, fmt.Errorf("volume: unknown read policy %q", val)
+			}
+		case "spare":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 || n > 8 {
+				return Config{}, fmt.Errorf("volume: spare count %q outside [0, 8]", val)
+			}
+			c.Spare = n
+		case "rebuild-rate":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || !(f >= 0) || f > 1e9 {
+				return Config{}, fmt.Errorf("volume: rebuild rate %q outside [0, 1e9]", val)
+			}
+			c.RebuildRate = f
+		case "scrub-interval":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || !(f >= 0) || f > 1e15 {
+				return Config{}, fmt.Errorf("volume: scrub interval %q outside [0, 1e15] ms", val)
+			}
+			c.ScrubIntervalMS = f
+		default:
+			return Config{}, fmt.Errorf("volume: unknown directive %q", key)
+		}
+	}
+	// Cross-field rules, matching New's validation for explicit values
+	// (zero means "unset" and defaults later).
+	min := 1
+	switch c.Layout {
+	case Mirror:
+		min = 2
+	case RAID5:
+		min = 3
+	case RAID6:
+		min = 4
+	}
+	if c.Disks != 0 && c.Disks < min {
+		return Config{}, fmt.Errorf("volume: %s needs at least %d disks, got %d", c.Layout, min, c.Disks)
+	}
+	parity := c.Layout == RAID5 || c.Layout == RAID6
+	if c.Spare > 0 && !parity {
+		return Config{}, fmt.Errorf("volume: layout %q takes no hot spares", c.Layout)
+	}
+	if c.ScrubIntervalMS > 0 && !parity {
+		return Config{}, fmt.Errorf("volume: layout %q has no parity to scrub", c.Layout)
+	}
+	if c.RebuildRate > 0 && !parity {
+		return Config{}, fmt.Errorf("volume: layout %q has no rebuild to throttle", c.Layout)
+	}
+	return c, nil
+}
+
+// String renders the canonical form: fixed key order, zero fields
+// omitted. ParseConfig(c.String()) reproduces c exactly.
+func (c Config) String() string {
+	var b strings.Builder
+	b.WriteString(string(c.Layout))
+	sep := byte(':')
+	add := func(key, val string) {
+		b.WriteByte(sep)
+		sep = ','
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(val)
+	}
+	if c.Disks != 0 {
+		add("disks", strconv.Itoa(c.Disks))
+	}
+	if c.StripeUnit != 0 {
+		add("unit", strconv.Itoa(c.StripeUnit))
+	}
+	if c.ReadPolicy != "" {
+		add("policy", string(c.ReadPolicy))
+	}
+	if c.Spare != 0 {
+		add("spare", strconv.Itoa(c.Spare))
+	}
+	if c.RebuildRate != 0 {
+		add("rebuild-rate", strconv.FormatFloat(c.RebuildRate, 'g', -1, 64))
+	}
+	if c.ScrubIntervalMS != 0 {
+		add("scrub-interval", strconv.FormatFloat(c.ScrubIntervalMS, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// Options expands the config into construction options; unset fields
+// keep their zero values and default inside New.
+func (c Config) Options() Options {
+	return Options{
+		Layout:          c.Layout,
+		Disks:           c.Disks,
+		StripeUnit:      c.StripeUnit,
+		ReadPolicy:      c.ReadPolicy,
+		Spare:           c.Spare,
+		RebuildRate:     c.RebuildRate,
+		ScrubIntervalMS: c.ScrubIntervalMS,
+	}
+}

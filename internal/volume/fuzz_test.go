@@ -1,0 +1,55 @@
+package volume
+
+import (
+	"testing"
+)
+
+// FuzzParseConfig checks two properties over the -layout grammar:
+// ParseConfig never panics on arbitrary input, and any spec it
+// accepts round-trips — rendering the parsed config with String and
+// parsing that again yields an identical config.
+func FuzzParseConfig(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"concat",
+		"stripe:disks=4,unit=16",
+		"mirror:disks=2,policy=shortest-queue",
+		"mirror:policy=round-robin",
+		"raid5:disks=4,spare=1,rebuild-rate=400,scrub-interval=600000",
+		"raid6:disks=6,unit=8",
+		"raid5:disks=3;unit=1;spare=2",
+		"raid6 : disks=5 , unit=2",
+		"raid5:rebuild-rate=0.5",
+		"raid6:scrub-interval=1e6",
+		"raid5:disks=4,disks=5",
+		"stripe:unit=0",
+		"raid5:disks=2",
+		"raid6:disks=64,spare=8",
+		"concat:spare=1",
+		"stripe:scrub-interval=100",
+		"mirror:rebuild-rate=10",
+		"raid5:rebuild-rate=nan",
+		"raid5:rebuild-rate=-1",
+		"raid7:disks=4",
+		"stripe:disks=65",
+		"raid5:unit=4097",
+		"stripe:disks",
+		"what=ever",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		c, err := ParseConfig(spec)
+		if err != nil {
+			return // rejected input: no panic is the whole property
+		}
+		s := c.String()
+		c2, err := ParseConfig(s)
+		if err != nil {
+			t.Fatalf("ParseConfig(%q) accepted, but its rendering %q does not re-parse: %v", spec, s, err)
+		}
+		if c != c2 {
+			t.Fatalf("round-trip mismatch for %q:\n first: %+v (%q)\nsecond: %+v", spec, c, s, c2)
+		}
+	})
+}

@@ -6,7 +6,7 @@
 // system, buffer cache, and workloads run unchanged on one spindle or
 // eight.
 //
-// Three layouts are supported:
+// Five layouts are supported:
 //
 //   - concat: members are appended; logical block b lives on the first
 //     member whose cumulative size exceeds b.
@@ -15,6 +15,20 @@
 //   - mirror: every member holds a full replica, RAID-1 style. Writes
 //     fan out to all live members; reads pick one live member by the
 //     configured balancing policy and fail over to the others on error.
+//   - raid5: rotating single parity; every stripe row dedicates one
+//     member block to the XOR of the others, so any one member can die
+//     (or lose a sector) and the volume keeps serving, reconstructing
+//     on the fly. See parity.go.
+//   - raid6: rotating double parity (P + Q over GF(2^8)); any two
+//     simultaneous losses are survivable.
+//
+// The parity layouts also take hot spares (Options.Spare), rebuilt
+// onto in the background under a foreground-yielding throttle, and a
+// periodic scrub (Options.ScrubIntervalMS + StartScrub) that repairs
+// latent sector errors before a second failure can compound them.
+//
+// Layout routing and mirror read balancing are pluggable seams — see
+// the placement and Balancer interfaces in balance.go.
 //
 // A volume advances in a single simulated timeline and the
 // fan-out/fan-in of mirror requests is fully deterministic: member
@@ -61,6 +75,10 @@ const (
 	Stripe Layout = "stripe"
 	// Mirror replicates every block on every member.
 	Mirror Layout = "mirror"
+	// RAID5 stripes with one rotating XOR parity block per stripe row.
+	RAID5 Layout = "raid5"
+	// RAID6 stripes with rotating P (XOR) and Q (GF(2^8)) parity.
+	RAID6 Layout = "raid6"
 )
 
 // ReadPolicy selects how a mirror balances reads across live members.
@@ -78,21 +96,41 @@ const (
 // Options.StripeUnit is zero: 16 blocks (128 KB of 8 KB blocks).
 const DefaultStripeUnit = 16
 
+// DefaultRebuildRate is the rebuild/scrub pace ceiling, in member
+// blocks per simulated second, when Options.RebuildRate is zero.
+const DefaultRebuildRate = 200
+
 // Options configures a volume.
 type Options struct {
 	// Ctx, when non-nil, cancels the shared engine once done.
 	Ctx context.Context
-	// Layout selects concat, stripe, or mirror; the zero value selects
-	// concat.
+	// Layout selects concat, stripe, mirror, raid5, or raid6; the zero
+	// value selects concat.
 	Layout Layout
-	// Disks is the member count; zero selects 1. Mirror needs at least 2.
+	// Disks is the member count, excluding spares; zero selects 1.
+	// Mirror needs at least 2, raid5 at least 3, raid6 at least 4.
 	Disks int
-	// StripeUnit is the stripe unit in blocks (stripe layout only);
-	// zero selects DefaultStripeUnit.
+	// StripeUnit is the stripe unit in blocks (stripe and parity
+	// layouts); zero selects DefaultStripeUnit.
 	StripeUnit int
 	// ReadPolicy balances mirror reads; the zero value selects
 	// round-robin.
 	ReadPolicy ReadPolicy
+	// Balancer overrides ReadPolicy with a custom read-balancing
+	// implementation.
+	Balancer Balancer
+	// Spare adds this many hot-spare members (parity layouts only).
+	// Spares idle until a member dies, then receive its reconstructed
+	// contents block by block.
+	Spare int
+	// RebuildRate caps background rebuild and scrub at this many member
+	// blocks per simulated second when the array is otherwise idle;
+	// zero selects DefaultRebuildRate. The effective pace backs off
+	// further as foreground queue depth grows.
+	RebuildRate float64
+	// ScrubIntervalMS, when positive on a parity layout, sets the
+	// period of the background scrub pass; StartScrub arms it.
+	ScrubIntervalMS float64
 	// Disk selects the member drive model; the zero value selects the
 	// Toshiba MK156F. All members use the same model.
 	Disk disk.Model
@@ -105,8 +143,10 @@ type Options struct {
 	Sched sched.Scheduler
 	// RequestTableSize overrides each member driver's monitoring table.
 	RequestTableSize int
-	// Faults lists per-member fault plans by member index; a short list
-	// (or nil entries) leaves the remaining members fault-free.
+	// Faults lists per-member fault plans by member index (spares
+	// follow the data members, at indices Disks..Disks+Spare-1); a
+	// short list (or nil entries) leaves the remaining members
+	// fault-free.
 	Faults []*fault.Plan
 	// Telemetry, when non-nil and capturing spans, receives every
 	// member's request lifecycle stream, tagged with the member's disk
@@ -136,11 +176,13 @@ type Stats struct {
 	RespMSSum float64
 	// Errors counts volume requests that completed with an error.
 	Errors int64
-	// Degraded counts mirror requests served with at least one member
-	// dead.
+	// Degraded counts redundant-layout requests served with at least
+	// one relevant member dead or unreadable (mirror: any member;
+	// parity: a member of the request's stripe row).
 	Degraded int64
-	// PerDisk counts member operations issued, by member index. A
-	// mirror write increments every live member's slot.
+	// PerDisk counts member operations issued, by member index
+	// (spares included, after the data members). A mirror write
+	// increments every live member's slot.
 	PerDisk []int64
 }
 
@@ -153,9 +195,10 @@ type Volume struct {
 	// either way; drive it through the volume's Run/RunUntil so the
 	// sharded path engages the coordinator.
 	Eng *sim.Engine
-	// Members are the per-disk stacks, in disk-index order. Callers
-	// may attach rearrangers or read per-member counters, but must not
-	// issue raw I/O that bypasses the volume's address map.
+	// Members are the per-disk stacks, in disk-index order, hot spares
+	// last. Callers may attach rearrangers or read per-member
+	// counters, but must not issue raw I/O that bypasses the volume's
+	// address map.
 	Members []*rig.Rig
 
 	layout Layout
@@ -168,15 +211,24 @@ type Volume struct {
 	blocks int64   // logical volume size in blocks
 	sizes  []int64 // usable blocks per member under this layout
 	cum    []int64 // concat: cumulative start block per member
-	rr     int     // round-robin read cursor
+
+	// devs presents the members through the Device seam; place routes
+	// requests for the layout; balancer orders redundant reads; ra is
+	// the parity machinery, nil outside raid5/raid6.
+	devs     []Device
+	place    placement
+	balancer Balancer
+	ra       *raid
 
 	// co is the shard coordinator, nil on the single-engine path.
 	co *sim.Coordinator
 
 	// free is the vreq pool; targets is the mirror write fan-out
-	// scratch. Both are fan-in-side (main goroutine) only.
+	// scratch; bufFree pools block-size parity scratch buffers. All
+	// are fan-in-side (main goroutine) only.
 	free    *vreq
 	targets []int
+	bufFree [][]byte
 
 	stats Stats
 	// cumDegraded counts degraded mirror requests over the volume's
@@ -202,12 +254,31 @@ func New(opts Options) (*Volume, error) {
 		opts.Layout = Concat
 	}
 	switch opts.Layout {
-	case Concat, Stripe, Mirror:
+	case Concat, Stripe, Mirror, RAID5, RAID6:
 	default:
 		return nil, fmt.Errorf("volume: unknown layout %q", opts.Layout)
 	}
 	if opts.Layout == Mirror && opts.Disks < 2 {
 		return nil, fmt.Errorf("volume: mirror needs at least 2 disks, got %d", opts.Disks)
+	}
+	if opts.Layout == RAID5 && opts.Disks < 3 {
+		return nil, fmt.Errorf("volume: raid5 needs at least 3 disks, got %d", opts.Disks)
+	}
+	if opts.Layout == RAID6 && opts.Disks < 4 {
+		return nil, fmt.Errorf("volume: raid6 needs at least 4 disks, got %d", opts.Disks)
+	}
+	parity := opts.Layout == RAID5 || opts.Layout == RAID6
+	if opts.Spare < 0 {
+		return nil, fmt.Errorf("volume: negative spare count %d", opts.Spare)
+	}
+	if opts.Spare > 0 && !parity {
+		return nil, fmt.Errorf("volume: layout %q takes no hot spares", opts.Layout)
+	}
+	if opts.RebuildRate < 0 {
+		return nil, fmt.Errorf("volume: negative rebuild rate %g", opts.RebuildRate)
+	}
+	if opts.ScrubIntervalMS > 0 && !parity {
+		return nil, fmt.Errorf("volume: layout %q has no parity to scrub", opts.Layout)
 	}
 	if opts.StripeUnit <= 0 {
 		opts.StripeUnit = DefaultStripeUnit
@@ -240,11 +311,12 @@ func New(opts Options) (*Volume, error) {
 		policy: opts.ReadPolicy,
 		ctx:    opts.Ctx,
 	}
+	nrigs := opts.Disks + opts.Spare
 	if sharded {
-		v.co = sim.NewCoordinator(eng, opts.Disks)
+		v.co = sim.NewCoordinator(eng, nrigs)
 	}
-	v.stats.PerDisk = make([]int64, opts.Disks)
-	for i := 0; i < opts.Disks; i++ {
+	v.stats.PerDisk = make([]int64, nrigs)
+	for i := 0; i < nrigs; i++ {
 		var plan *fault.Plan
 		if i < len(opts.Faults) {
 			plan = opts.Faults[i]
@@ -273,6 +345,7 @@ func New(opts Options) (*Volume, error) {
 			m.Driver.SetSink(telemetry.TagDisk(i, opts.Telemetry))
 		}
 		v.Members = append(v.Members, m)
+		v.devs = append(v.devs, m.Driver)
 	}
 	v.bs = v.Members[0].Driver.BlockSize()
 
@@ -309,6 +382,61 @@ func New(opts Options) (*Volume, error) {
 			v.sizes = append(v.sizes, min)
 		}
 		v.blocks = min
+	case RAID5, RAID6:
+		per := min / v.unit * v.unit
+		if per == 0 {
+			return nil, fmt.Errorf("volume: stripe unit %d larger than member (%d blocks)", v.unit, min)
+		}
+		npar := 1
+		if v.layout == RAID6 {
+			npar = 2
+		}
+		for range v.Members {
+			v.sizes = append(v.sizes, per)
+		}
+		v.blocks = per * int64(opts.Disks-npar)
+		ra := &raid{
+			v:            v,
+			dbl:          v.layout == RAID6,
+			npar:         npar,
+			nslots:       opts.Disks,
+			ndata:        opts.Disks - npar,
+			unit:         v.unit,
+			per:          per,
+			rate:         opts.RebuildRate,
+			scrubEveryMS: opts.ScrubIntervalMS,
+			locks:        make(map[int64]*rowLock),
+			slotRig:      make([]int, opts.Disks),
+		}
+		if ra.rate == 0 {
+			ra.rate = DefaultRebuildRate
+		}
+		for s := range ra.slotRig {
+			ra.slotRig[s] = s
+		}
+		for i := 0; i < opts.Spare; i++ {
+			ra.spareRigs = append(ra.spareRigs, opts.Disks+i)
+		}
+		ra.copyFn = ra.copyStep
+		v.ra = ra
+	}
+
+	v.balancer = opts.Balancer
+	if v.balancer == nil {
+		b, err := newBalancer(v.policy)
+		if err != nil {
+			v.Close()
+			return nil, err
+		}
+		v.balancer = b
+	}
+	switch v.layout {
+	case Mirror:
+		v.place = mirrored{v}
+	case RAID5, RAID6:
+		v.place = v.ra
+	default:
+		v.place = linear{v}
 	}
 
 	lbl, err := v.makeLabel()
@@ -360,6 +488,10 @@ func (v *Volume) Dispatched() int64 {
 // cancelled). The single-engine path has nothing to release. Close is
 // idempotent.
 func (v *Volume) Close() {
+	if v.ra != nil && v.ra.scrubCancel != nil {
+		v.ra.scrubCancel()
+		v.ra.scrubCancel = nil
+	}
 	if v.co != nil {
 		v.co.Close()
 	}
@@ -408,6 +540,26 @@ func (v *Volume) DeadMembers() int {
 	return n
 }
 
+// RAID returns the parity layout's lifetime counters; the zero value
+// on non-parity layouts.
+func (v *Volume) RAID() RAIDStats {
+	if v.ra == nil {
+		return RAIDStats{}
+	}
+	return v.ra.cum
+}
+
+// Spares returns how many hot spares remain undrafted.
+func (v *Volume) Spares() int {
+	if v.ra == nil {
+		return 0
+	}
+	return len(v.ra.spareRigs)
+}
+
+// Rebuilding reports whether a spare rebuild is in progress.
+func (v *Volume) Rebuilding() bool { return v.ra != nil && v.ra.rebuild != nil }
+
 // Err returns the volume's cancellation cause, as rig.Err does.
 func (v *Volume) Err() error {
 	if v.ctx == nil {
@@ -433,6 +585,13 @@ func (v *Volume) BindMetrics(reg *metrics.Registry) {
 	v.mxResp = reg.Histogram("volume_resp_ms", metrics.HistogramOpts{})
 	reg.CounterFunc("volume_degraded", func() int64 { return v.cumDegraded })
 	reg.GaugeFunc("volume_dead_members", func() float64 { return float64(v.DeadMembers()) })
+	if ra := v.ra; ra != nil {
+		reg.CounterFunc("volume_degraded_reads", func() int64 { return ra.cum.DegradedReads })
+		reg.CounterFunc("volume_parity_recomputes", func() int64 { return ra.cum.ParityRecomputes })
+		reg.CounterFunc("volume_rebuilt_blocks", func() int64 { return ra.cum.RebuiltBlocks })
+		reg.CounterFunc("volume_scrub_repairs", func() int64 { return ra.cum.ScrubRepairs })
+		reg.GaugeFunc("volume_rebuild_progress", ra.rebuildProgress)
+	}
 }
 
 // ResetStats clears the volume-level statistics (member drivers keep
@@ -596,75 +755,22 @@ func (v *Volume) ReadBlock(part int, blk int64, done driver.DoneFunc) {
 	}
 	v.stats.Requests++
 	v.stats.Reads++
-	r := v.getReq()
-	r.start = v.Eng.Now()
-	r.done = done
-	if v.layout != Mirror {
-		i, mblk := v.locate(blk)
-		v.stats.PerDisk[i]++
-		v.Members[i].Driver.ReadBlock(0, mblk, r.finishCB)
-		return
-	}
-	r.order = v.appendReadOrder(r.order[:0])
-	if len(r.order) == 0 {
-		v.putReq(r)
-		v.fail(done, fmt.Errorf("volume: every mirror member is dead: %w", driver.ErrDead))
-		return
-	}
-	if len(r.order) < len(v.Members) {
-		v.stats.Degraded++
-		v.cumDegraded++
-	}
-	r.blk = blk
-	i := r.order[0]
-	v.stats.PerDisk[i]++
-	v.Members[i].Driver.ReadBlock(0, blk, r.readCB)
+	v.place.read(blk, done)
 }
 
-// appendReadOrder appends the member indices a mirror read should try,
-// best candidate first, per the balancing policy. Only live members
-// appear. The caller passes a reused backing slice, so the hot path
-// allocates nothing.
+// appendReadOrder appends the member indices a balanced read should
+// try, best candidate first, per the volume's Balancer. Only live
+// members appear. The caller passes a reused backing slice, so the
+// hot path allocates nothing.
 func (v *Volume) appendReadOrder(order []int) []int {
-	n := len(v.Members)
-	switch v.policy {
-	case ShortestQueue:
-		for i, m := range v.Members {
-			if !m.Driver.Dead() {
-				order = append(order, i)
-			}
-		}
-		// Sort by (outstanding requests, index): an insertion sort over
-		// a handful of members, in place of sort.SliceStable and its
-		// per-call closure allocation. The key is total, so the result
-		// is the same.
-		for a := 1; a < len(order); a++ {
-			for b := a; b > 0; b-- {
-				qa := v.Members[order[b-1]].Driver.Outstanding()
-				qb := v.Members[order[b]].Driver.Outstanding()
-				if qa < qb || (qa == qb && order[b-1] < order[b]) {
-					break
-				}
-				order[b-1], order[b] = order[b], order[b-1]
-			}
-		}
-	default: // RoundRobin
-		first := v.rr % n
-		v.rr++
-		for j := 0; j < n; j++ {
-			i := (first + j) % n
-			if !v.Members[i].Driver.Dead() {
-				order = append(order, i)
-			}
-		}
-	}
-	return order
+	return v.balancer.Order(v, order)
 }
 
 // WriteBlock implements driver.BlockDevice: it writes one logical block
-// of the volume. On a mirror the write fans out to every live member
-// and done fires when the last member completes; the volume write
-// succeeds if at least one replica was written.
+// of the volume. done fires at fan-in completion; redundant layouts
+// succeed as long as enough members took the write to keep the block
+// durable (mirror: any replica; parity: failures within the parity
+// budget).
 func (v *Volume) WriteBlock(part int, blk int64, data []byte, done driver.DoneFunc) {
 	if err := v.check(part, blk); err != nil {
 		v.fail(done, err)
@@ -676,40 +782,18 @@ func (v *Volume) WriteBlock(part int, blk int64, data []byte, done driver.DoneFu
 	}
 	v.stats.Requests++
 	v.stats.Writes++
-	r := v.getReq()
-	r.start = v.Eng.Now()
-	r.done = done
-	if v.layout != Mirror {
-		i, mblk := v.locate(blk)
-		v.stats.PerDisk[i]++
-		v.Members[i].Driver.WriteBlock(0, mblk, data, r.finishCB)
-		return
-	}
-	// targets is issue-time scratch only (no callback runs inside the
-	// fan-out loop — completions are simulated-time events), so the
-	// volume-level backing array is reused across requests.
-	targets := v.targets[:0]
-	for i, m := range v.Members {
-		if !m.Driver.Dead() {
-			targets = append(targets, i)
-		}
-	}
-	v.targets = targets
-	if len(targets) == 0 {
-		v.putReq(r)
-		v.fail(done, fmt.Errorf("volume: every mirror member is dead: %w", driver.ErrDead))
-		return
-	}
-	if len(targets) < len(v.Members) {
-		v.stats.Degraded++
-		v.cumDegraded++
-	}
-	r.pending = len(targets)
-	for _, i := range targets {
-		v.stats.PerDisk[i]++
-		// Members may not mutate or retain the buffer (the cache hands
-		// its own copy to WriteThroughOwned under the same contract),
-		// so all replicas share one data slice.
-		v.Members[i].Driver.WriteBlock(0, blk, data, r.writeCB)
-	}
+	v.place.write(blk, data, done)
 }
+
+// getBuf pops a pooled block-size scratch buffer for parity math;
+// putBuf returns one. Fan-in side only, like the request pools.
+func (v *Volume) getBuf() []byte {
+	if n := len(v.bufFree); n > 0 {
+		b := v.bufFree[n-1]
+		v.bufFree = v.bufFree[:n-1]
+		return b
+	}
+	return make([]byte, v.bs.Bytes())
+}
+
+func (v *Volume) putBuf(b []byte) { v.bufFree = append(v.bufFree, b) }

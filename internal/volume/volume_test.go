@@ -261,7 +261,7 @@ func TestStripeDeadMemberFailsRequest(t *testing.T) {
 }
 
 func TestValidation(t *testing.T) {
-	if _, err := New(Options{Layout: "raid6"}); err == nil {
+	if _, err := New(Options{Layout: "raid7"}); err == nil {
 		t.Error("unknown layout accepted")
 	}
 	if _, err := New(Options{Layout: Mirror, Disks: 1}); err == nil {
