@@ -107,6 +107,13 @@ func benches(shard int) []bench {
 		// rebuild, and scrub sweeps interleaving with the workload.
 		{name: "raid-rebuild", id: "raid-rebuild",
 			opts: experiment.Options{Days: 2, WindowMS: 15 * 60 * 1000}},
+		// Trace-driven replay: each row captures the system workload as
+		// a block trace, scales it (the 4x rows multiplex address-shifted
+		// copies), and replays it through tracein's pooled zero-alloc
+		// replayer — open and closed loop, rearrangement off and on. The
+		// per-row replay throughputs ride along like the volume rows.
+		{name: "trace-replay", id: "trace-replay",
+			opts: experiment.Options{WindowMS: 15 * 60 * 1000}},
 	}
 }
 
@@ -126,8 +133,8 @@ type Result struct {
 	Bytes        uint64  `json:"bytes"`
 	// Volume holds the volume-backed matrices' per-configuration
 	// simulated throughputs (deterministic, unlike the wall-clock
-	// fields): the volume-scale rows, and the raid-rebuild parity rows;
-	// empty for every other benchmark.
+	// fields): the volume-scale rows, the raid-rebuild parity rows, and
+	// the trace-replay rows; empty for every other benchmark.
 	Volume []VolBench `json:"volume,omitempty"`
 }
 
@@ -255,6 +262,14 @@ func runBench(b bench, reps, jobs int) (Result, []metrics.JobSnapshot, error) {
 				Config:       p.Config,
 				Disks:        p.Disks,
 				Requests:     p.Requests,
+				ReqPerSimSec: p.Throughput,
+			})
+		}
+		for _, p := range rs.Trace {
+			r.Volume = append(r.Volume, VolBench{
+				Config:       p.Config,
+				Disks:        p.Disks,
+				Requests:     int64(p.Records),
 				ReqPerSimSec: p.Throughput,
 			})
 		}

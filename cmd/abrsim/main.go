@@ -51,6 +51,15 @@
 // scrubbing a planted latent sector error, and surviving a double
 // fault. -layout collapses the matrix to one row ("raid5" or "raid6");
 // -spare, -rebuild-rate, and -scrub-interval configure that row.
+//
+// Trace replay: the "trace-replay" experiment replays a captured block
+// trace against a volume — rearrangement off and on, open and closed
+// loop, optionally scaled to heavy traffic. By default it synthesizes
+// the trace from the system workload (tracegen's capture flow);
+// -trace-in replays a real trace file instead (native binary/text,
+// SNIA MSR-Cambridge CSV, or blkparse text, auto-detected), and
+// -replay-mode, -trace-scale, and -trace-shift configure the pacing and
+// the multiplexed scaling of the resulting custom off/on pair.
 package main
 
 import (
@@ -70,6 +79,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/runner"
 	"repro/internal/telemetry"
+	"repro/internal/tracein"
 	"repro/internal/workload"
 )
 
@@ -94,6 +104,10 @@ func main() {
 	netLat := flag.Float64("net-lat", 0, "tenant-scale: one-way network latency in ms (0 = default 0.2)")
 	netBW := flag.Float64("net-bw", 0, "tenant-scale: network bandwidth in MB/s (0 = default 100, negative = unlimited)")
 	qos := flag.String("qos", "", `tenant-scale: force admission control "on" or "off" ("" = per-row setting)`)
+	traceIn := flag.String("trace-in", "", "trace-replay: replay this trace file (binary/text/msr/blkparse, auto-detected) instead of the synthesized workload")
+	replayMode := flag.String("replay-mode", "", `trace-replay: replay pacing, "open" (timestamp-faithful) or "closed" (think-time) ("" = the registered matrix)`)
+	traceScale := flag.Int("trace-scale", 0, "trace-replay: multiplex this many address-shifted copies with matching time compression (0 = the registered matrix)")
+	traceShift := flag.Int64("trace-shift", 0, "trace-replay: per-copy address shift in blocks for -trace-scale (0 = spread copies evenly)")
 	layout := flag.String("layout", "", `raid-rebuild: collapse the matrix to one row of this layout ("raid5" or "raid6")`)
 	spare := flag.Int("spare", 0, "raid-rebuild: hot spares for the -layout row")
 	rebuildRate := flag.Float64("rebuild-rate", 0, "raid-rebuild: rebuild/scrub throttle for the -layout row, member blocks per simulated second (0 = default 200)")
@@ -109,11 +123,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "abrsim: unknown -layout %q (want raid5 or raid6)\n", *layout)
 		os.Exit(2)
 	}
+	if _, err := tracein.ParseMode(*replayMode); err != nil {
+		fmt.Fprintln(os.Stderr, "abrsim:", err)
+		os.Exit(2)
+	}
 	o := experiment.Options{
 		Days: *days, Seed: *seed, Jobs: *jobs, Shards: *shard,
 		Tenants: *tenants, NetLatencyMS: *netLat, NetBandwidthMBps: *netBW, QoS: *qos,
 		RAIDLayout: *layout, RAIDSpare: *spare, RebuildRate: *rebuildRate,
 		ScrubIntervalMS: scrubInterval.Seconds() * 1000,
+		TraceIn:         *traceIn, ReplayMode: *replayMode,
+		TraceScale: *traceScale, TraceShift: *traceShift,
 	}
 	plan, err := buildFaultPlan(*faultPlan, *faultSeed, *crashAfter)
 	if err != nil {
@@ -190,6 +210,7 @@ var flagGroups = []struct {
 	{"fault injection", []string{"fault-plan", "fault-seed", "crash-after"}},
 	{"tenant scale", []string{"tenants", "net-lat", "net-bw", "qos"}},
 	{"parity layouts", []string{"layout", "spare", "rebuild-rate", "scrub-interval"}},
+	{"trace replay", []string{"trace-in", "replay-mode", "trace-scale", "trace-shift"}},
 }
 
 // usage prints the grouped flag help plus the registry's experiment

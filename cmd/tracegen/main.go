@@ -8,7 +8,8 @@
 //	tracegen -o day.trace [-fs system|users] [-disk toshiba|fujitsu]
 //	         [-hours H] [-format binary|text] [-seed S]
 //
-// The resulting trace can be replayed with abrreport.
+// The resulting trace can be replayed with abrreport, or scaled and
+// replayed against a volume with abrsim -exp trace-replay -trace-in.
 package main
 
 import (

@@ -60,6 +60,13 @@ var equivSpecs = []struct {
 	// distinguishes day 1 from day 0) and six rows at full fan-out, so
 	// the second day would only double the battery's wall clock.
 	{id: "raid-rebuild", days: 1},
+	// The trace-replay matrix is day-free (capture once, replay once or
+	// twice); it locks the tracein capture → scale → replay pipeline,
+	// whose open-loop arrival batching and pooled completion order are
+	// new event-ordering surface. Not in -short: each row re-captures
+	// the source trace, and the race step's time budget is spent on the
+	// tracein package's own battery instead.
+	{id: "trace-replay"},
 }
 
 // renderSpec gathers one spec on the given worker count and renders its
@@ -157,6 +164,7 @@ func TestShardedVolumeEquivalence(t *testing.T) {
 		{id: "volume-scale"},
 		{id: "tenant-scale"},
 		{id: "raid-rebuild", days: 1},
+		{id: "trace-replay"},
 	} {
 		spec := spec
 		t.Run(spec.id, func(t *testing.T) {
@@ -228,6 +236,7 @@ func TestMetricsDeterminism(t *testing.T) {
 		{"faults", true, false},
 		{"volume-scale", false, true},
 		{"tenant-scale", false, true},
+		{"trace-replay", false, true},
 	} {
 		spec := spec
 		t.Run(spec.id, func(t *testing.T) {

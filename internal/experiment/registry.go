@@ -149,6 +149,7 @@ func init() {
 	registerVolume()
 	registerTenants()
 	registerRAID()
+	registerTraceReplay()
 	registerGroups()
 }
 

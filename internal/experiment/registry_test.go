@@ -16,7 +16,7 @@ func TestRegistryHasAllIDs(t *testing.T) {
 		"table6", "table7", "table8", "table9", "table10",
 		"fig4", "fig5", "fig6", "fig7", "fig8",
 		"shared", "faults", "crash", "volume-scale", "tenant-scale",
-		"raid-rebuild",
+		"raid-rebuild", "trace-replay",
 		"onoff-system", "onoff-users", "policies", "sweep", "all",
 	}
 	ids := IDs()

@@ -46,6 +46,10 @@ const (
 	// configuration (healthy, degraded, hot-spare rebuild, latent-error
 	// scrub, double fault).
 	NeedRAID
+	// NeedTrace is the trace-replay matrix: one run per replay
+	// configuration (open/closed loop, scale factor, rearrangement
+	// off/on).
+	NeedTrace
 	needCount
 )
 
@@ -72,6 +76,8 @@ func (n Need) String() string {
 		return "tenants"
 	case NeedRAID:
 		return "raid"
+	case NeedTrace:
+		return "trace"
 	}
 	return fmt.Sprintf("need(%d)", int(n))
 }
@@ -90,6 +96,7 @@ type ResultSet struct {
 	Volume   []VolumePoint
 	Tenants  []TenantPoint
 	RAID     []VolumePoint
+	Trace    []TracePoint
 
 	// Collectors holds each simulation job's telemetry collector in
 	// job order when Options.Telemetry was set; nil otherwise.
@@ -281,6 +288,8 @@ func needUnits(n Need, o Options) []unit {
 		return tenantUnits(o)
 	case NeedRAID:
 		return raidUnits(o)
+	case NeedTrace:
+		return traceUnits(o)
 	}
 	panic(fmt.Sprintf("experiment: unknown need %d", int(n)))
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strconv"
 
 	"repro/internal/driver"
 	"repro/internal/sim"
@@ -72,55 +73,81 @@ func WriteBinary(w io.Writer, records []Record) error {
 	return bw.Flush()
 }
 
-// ReadBinary reads a binary trace stream.
-func ReadBinary(r io.Reader) ([]Record, error) {
+// ScanBinary reads a binary trace stream record by record, calling emit
+// for each. It never materializes the whole trace, so arbitrarily large
+// streams parse in constant memory. An error from emit aborts the scan
+// and is returned unchanged.
+func ScanBinary(r io.Reader, emit func(Record) error) error {
 	br := bufio.NewReader(r)
 	var hdr [10]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadHeader, err)
+		return fmt.Errorf("%w: %v", ErrBadHeader, err)
 	}
 	if binary.BigEndian.Uint32(hdr[0:]) != Magic {
-		return nil, ErrBadHeader
+		return ErrBadHeader
 	}
 	if v := binary.BigEndian.Uint16(hdr[4:]); v != Version {
-		return nil, fmt.Errorf("%w: version %d", ErrBadHeader, v)
+		return fmt.Errorf("%w: version %d", ErrBadHeader, v)
 	}
 	n := int(binary.BigEndian.Uint32(hdr[6:]))
-	out := make([]Record, 0, n)
 	var buf [recordSize]byte
 	for i := 0; i < n; i++ {
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return nil, fmt.Errorf("trace: truncated at record %d: %w", i, err)
+			return fmt.Errorf("trace: truncated at record %d: %w", i, err)
 		}
-		out = append(out, Record{
+		rec := Record{
 			TimeMS: math.Float64frombits(binary.BigEndian.Uint64(buf[0:])),
 			Write:  buf[8]&1 != 0,
 			Part:   int(buf[9]),
 			Block:  int64(binary.BigEndian.Uint64(buf[10:])),
-		})
+		}
+		if err := emit(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBinary reads a binary trace stream.
+func ReadBinary(r io.Reader) ([]Record, error) {
+	var out []Record
+	if err := ScanBinary(r, func(rec Record) error {
+		out = append(out, rec)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // WriteText writes records as one line each: "<timeMS> <R|W> <part>
-// <block>".
+// <block>". Times are formatted with the shortest decimal that parses
+// back to the identical float64, so a text round trip is lossless —
+// the same guarantee the binary format gives.
 func WriteText(w io.Writer, records []Record) error {
 	bw := bufio.NewWriter(w)
+	var scratch [32]byte
 	for _, r := range records {
-		dir := "R"
+		dir := " R "
 		if r.Write {
-			dir = "W"
+			dir = " W "
 		}
-		if _, err := fmt.Fprintf(bw, "%.3f %s %d %d\n", r.TimeMS, dir, r.Part, r.Block); err != nil {
+		if _, err := bw.Write(strconv.AppendFloat(scratch[:0], r.TimeMS, 'f', -1, 64)); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(dir); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw, "%d %d\n", r.Part, r.Block); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
 }
 
-// ReadText parses the text format.
-func ReadText(r io.Reader) ([]Record, error) {
-	var out []Record
+// ScanText parses the text format line by line, calling emit for each
+// record. An error from emit aborts the scan and is returned unchanged.
+func ScanText(r io.Reader, emit func(Record) error) error {
 	sc := bufio.NewScanner(r)
 	line := 0
 	for sc.Scan() {
@@ -131,18 +158,29 @@ func ReadText(r io.Reader) ([]Record, error) {
 		var rec Record
 		var dir string
 		if _, err := fmt.Sscanf(sc.Text(), "%f %s %d %d", &rec.TimeMS, &dir, &rec.Part, &rec.Block); err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			return fmt.Errorf("trace: line %d: %w", line, err)
 		}
 		switch dir {
 		case "R":
 		case "W":
 			rec.Write = true
 		default:
-			return nil, fmt.Errorf("trace: line %d: direction %q", line, dir)
+			return fmt.Errorf("trace: line %d: direction %q", line, dir)
 		}
-		out = append(out, rec)
+		if err := emit(rec); err != nil {
+			return err
+		}
 	}
-	if err := sc.Err(); err != nil {
+	return sc.Err()
+}
+
+// ReadText parses the text format.
+func ReadText(r io.Reader) ([]Record, error) {
+	var out []Record
+	if err := ScanText(r, func(rec Record) error {
+		out = append(out, rec)
+		return nil
+	}); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -1,0 +1,75 @@
+package tracein
+
+import (
+	"testing"
+
+	"repro/internal/rig"
+	"repro/internal/trace"
+)
+
+// Allocation regression tests for the steady-state replay path. The
+// budget is at most 1 allocation per replayed request, and the
+// replayer's own machinery must contribute (amortized) none of it: the
+// arrival cursor and closed-loop clients are sim.Caller values, the
+// completion DoneFuncs live on pooled inflight slots, and writes reuse
+// one shared zero block. What remains is the device's own budget — 1
+// alloc per read (the returned data buffer, an ownership transfer) and
+// 0 per write — plus the replayer's fixed per-pass setup, amortized
+// across the trace.
+
+// replayAllocs measures allocations per replayed request for one full
+// pass over n requests.
+func replayAllocs(t *testing.T, n int, write bool, mode Mode) float64 {
+	t.Helper()
+	r := rig.MustNew(rig.Options{})
+	blocks := r.PartitionBlocks(0)
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		recs[i] = trace.Record{
+			// 30 ms apart: slower than the device's service time, so the
+			// open-loop in-flight population (and the inflight pool) stays
+			// at one.
+			TimeMS: float64(i) * 30,
+			Write:  write,
+			Block:  (int64(i) * 977) % blocks,
+		}
+	}
+	// Warm-up pass: grows the driver's pools and histogram buckets.
+	rep, err := NewReplayer(r.Eng, r.Driver, recs, ReplayOptions{Mode: mode, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Start(nil)
+	r.Eng.Run()
+	per := testing.AllocsPerRun(3, func() {
+		rep, err := NewReplayer(r.Eng, r.Driver, recs, ReplayOptions{Mode: mode, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.Start(nil)
+		r.Eng.Run()
+	}) / float64(n)
+	return per
+}
+
+func TestOpenLoopWriteAllocs(t *testing.T) {
+	// Writes have a zero device budget, so this pins the replayer's own
+	// path: everything measured is per-pass setup amortized over 512
+	// requests, far under the 1 alloc/request floor.
+	if per := replayAllocs(t, 512, true, OpenLoop); per > 0.25 {
+		t.Errorf("open-loop write replay: %.3f allocs/request, want <= 0.25", per)
+	}
+}
+
+func TestOpenLoopReadAllocs(t *testing.T) {
+	// Reads add the device's 1-alloc data buffer.
+	if per := replayAllocs(t, 512, false, OpenLoop); per > 1.25 {
+		t.Errorf("open-loop read replay: %.3f allocs/request, want <= 1.25", per)
+	}
+}
+
+func TestClosedLoopWriteAllocs(t *testing.T) {
+	if per := replayAllocs(t, 512, true, ClosedLoop); per > 0.25 {
+		t.Errorf("closed-loop write replay: %.3f allocs/request, want <= 0.25", per)
+	}
+}

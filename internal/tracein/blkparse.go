@@ -1,0 +1,134 @@
+package tracein
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// blkparse renders blktrace events one per line:
+//
+//	maj,min cpu seq timestamp pid action rwbs sector + sectors [proc]
+//
+// e.g. "8,0 1 1 0.000000000 1234 Q R 7077888 + 16 [fio]". The parser
+// keeps only queue events (action "Q" — the moment the request entered
+// the block layer, which is what a replay re-issues), identifies the
+// direction from the RWBS field, converts 512-byte sectors to
+// Options.BlockBytes blocks, and skips blkparse's non-event output
+// (per-CPU summaries, blank lines, totals) by requiring the "maj,min"
+// device field shape.
+
+// sectorBytes is the fixed sector size blkparse reports addresses in.
+const sectorBytes = 512
+
+// ParseBlkparse streams blkparse-style text, emitting one record per
+// covered block for each queue ("Q") event. Lines that do not start
+// with a "maj,min" device field are skipped as summary output; events
+// whose RWBS has neither R nor W (pure barriers/flushes) are skipped
+// too. Timestamps are seconds; a queue timestamp earlier than its
+// predecessor fails with ErrNonMonotonic.
+func ParseBlkparse(r io.Reader, o Options, emit EmitFunc) error {
+	o = o.withDefaults()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	first := true
+	var baseSec, prevSec float64
+	for sc.Scan() {
+		lineNo++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || !isDevField(fields[0]) {
+			continue // blkparse summary/noise, not an event line
+		}
+		if len(fields) < 7 {
+			return parseErr(FormatBlkparse, lineNo, ErrTruncated, "want at least 7 fields, got %d", len(fields))
+		}
+		if fields[5] != "Q" {
+			continue // only queue events are replayed
+		}
+		sec, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return parseErr(FormatBlkparse, lineNo, ErrBadField, "timestamp %q", fields[3])
+		}
+		if sec < 0 {
+			return parseErr(FormatBlkparse, lineNo, ErrOutOfRange, "timestamp %v", sec)
+		}
+		var write bool
+		switch rwbs := fields[6]; {
+		case strings.ContainsRune(rwbs, 'R'):
+		case strings.ContainsRune(rwbs, 'W'):
+			write = true
+		default:
+			continue // barrier/flush-only event, nothing to replay
+		}
+		if len(fields) < 10 {
+			return parseErr(FormatBlkparse, lineNo, ErrTruncated, "queue event needs sector fields, got %d fields", len(fields))
+		}
+		sector, err := strconv.ParseInt(fields[7], 10, 64)
+		if err != nil {
+			return parseErr(FormatBlkparse, lineNo, ErrBadField, "sector %q", fields[7])
+		}
+		if sector < 0 || sector > math.MaxInt64/sectorBytes-maxRequestBlocks {
+			return parseErr(FormatBlkparse, lineNo, ErrOutOfRange, "sector %d", sector)
+		}
+		if fields[8] != "+" {
+			return parseErr(FormatBlkparse, lineNo, ErrBadField, "expected \"+\" before sector count, got %q", fields[8])
+		}
+		count, err := strconv.ParseInt(fields[9], 10, 64)
+		if err != nil {
+			return parseErr(FormatBlkparse, lineNo, ErrBadField, "sector count %q", fields[9])
+		}
+		limit := int64(maxRequestBlocks) * (int64(o.BlockBytes) / sectorBytes)
+		if limit < maxRequestBlocks {
+			limit = maxRequestBlocks
+		}
+		if count < 0 || count > limit {
+			return parseErr(FormatBlkparse, lineNo, ErrOutOfRange, "sector count %d", count)
+		}
+		if first {
+			baseSec, prevSec = sec, sec
+			first = false
+		}
+		if sec < prevSec {
+			return parseErr(FormatBlkparse, lineNo, ErrNonMonotonic, "timestamp %v after %v", sec, prevSec)
+		}
+		prevSec = sec
+		timeMS := (sec - baseSec) * 1000
+		if err := emitRange(timeMS, write, 0, sector*sectorBytes, count*sectorBytes, o.BlockBytes, emit); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return parseErr(FormatBlkparse, lineNo+1, ErrTruncated, "%v", err)
+	}
+	return nil
+}
+
+// isDevField reports whether s has the "maj,min" shape that opens every
+// blkparse event line ("8,0", "259,2").
+func isDevField(s string) bool {
+	i := strings.IndexByte(s, ',')
+	if i <= 0 || i == len(s)-1 {
+		return false
+	}
+	return allDigits(s[:i]) && allDigits(s[i+1:])
+}
+
+func allDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// looksBlkparse reports whether a line has the blkparse event shape: a
+// maj,min device field followed by numeric cpu/seq fields.
+func looksBlkparse(line string) bool {
+	fields := strings.Fields(line)
+	return len(fields) >= 7 && isDevField(fields[0]) &&
+		allDigits(fields[1]) && allDigits(fields[2])
+}

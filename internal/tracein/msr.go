@@ -1,0 +1,169 @@
+package tracein
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// SNIA MSR-Cambridge block traces are CSV with seven fields per line:
+//
+//	Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+//
+// Timestamp is a Windows FILETIME (100 ns ticks since 1601), Type is
+// "Read" or "Write", Offset and Size are bytes, ResponseTime is the
+// traced machine's own service time (ignored here — the simulated disk
+// supplies its own timing). The parser is streaming, rebases the first
+// record to t=0, quantizes byte ranges to Options.BlockBytes blocks,
+// and maps DiskNumber to the record's partition.
+
+// filetimeTicksPerMS converts FILETIME 100 ns ticks to milliseconds.
+const filetimeTicksPerMS = 10_000
+
+// maxRequestBlocks bounds how many blocks one traced request may span
+// (1 Mi blocks = 8 GiB at the default block size). A size field beyond
+// it is treated as corrupt rather than expanded — a single line must
+// not be able to make the parser emit unbounded output.
+const maxRequestBlocks = 1 << 20
+
+// msrFields is the column count of an MSR-Cambridge CSV line.
+const msrFields = 7
+
+// ParseMSR streams an MSR-Cambridge CSV trace, emitting one record per
+// covered block. A leading header line (non-numeric first field) is
+// skipped. Timestamps are rebased so the first event is at 0 ms;
+// a timestamp earlier than its predecessor fails with ErrNonMonotonic
+// (equal timestamps are fine — MSR traces batch events at tick
+// granularity).
+func ParseMSR(r io.Reader, o Options, emit EmitFunc) error {
+	o = o.withDefaults()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	first := true
+	var baseTicks, prevTicks int64
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var f [msrFields]string
+		if !splitFields(line, ',', f[:]) {
+			return parseErr(FormatMSR, lineNo, ErrTruncated, "want %d comma-separated fields, got %q", msrFields, line)
+		}
+		ticks, err := strconv.ParseInt(strings.TrimSpace(f[0]), 10, 64)
+		if err != nil {
+			if lineNo == 1 {
+				continue // header line
+			}
+			return parseErr(FormatMSR, lineNo, ErrBadField, "timestamp %q", f[0])
+		}
+		disk, err := strconv.Atoi(strings.TrimSpace(f[2]))
+		if err != nil {
+			return parseErr(FormatMSR, lineNo, ErrBadField, "disk number %q", f[2])
+		}
+		if disk < 0 || disk > 255 {
+			return parseErr(FormatMSR, lineNo, ErrOutOfRange, "disk number %d", disk)
+		}
+		var write bool
+		switch typ := strings.TrimSpace(f[3]); {
+		case strings.EqualFold(typ, "Read"):
+		case strings.EqualFold(typ, "Write"):
+			write = true
+		default:
+			return parseErr(FormatMSR, lineNo, ErrBadField, "request type %q", typ)
+		}
+		offset, err := strconv.ParseInt(strings.TrimSpace(f[4]), 10, 64)
+		if err != nil {
+			return parseErr(FormatMSR, lineNo, ErrBadField, "offset %q", f[4])
+		}
+		if offset < 0 {
+			return parseErr(FormatMSR, lineNo, ErrOutOfRange, "offset %d", offset)
+		}
+		size, err := strconv.ParseInt(strings.TrimSpace(f[5]), 10, 64)
+		if err != nil {
+			return parseErr(FormatMSR, lineNo, ErrBadField, "size %q", f[5])
+		}
+		if size < 0 || size/int64(o.BlockBytes) > maxRequestBlocks {
+			return parseErr(FormatMSR, lineNo, ErrOutOfRange, "size %d", size)
+		}
+		if offset > math.MaxInt64-size {
+			return parseErr(FormatMSR, lineNo, ErrOutOfRange, "offset %d + size %d overflows", offset, size)
+		}
+		if first {
+			baseTicks, prevTicks = ticks, ticks
+			first = false
+		}
+		if ticks < prevTicks {
+			return parseErr(FormatMSR, lineNo, ErrNonMonotonic, "timestamp %d after %d", ticks, prevTicks)
+		}
+		prevTicks = ticks
+		timeMS := float64(ticks-baseTicks) / filetimeTicksPerMS
+		if err := emitRange(timeMS, write, disk, offset, size, o.BlockBytes, emit); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return parseErr(FormatMSR, lineNo+1, ErrTruncated, "%v", err)
+	}
+	return nil
+}
+
+// emitRange quantizes a byte range to blocks, emitting one record per
+// covered block. A zero-size request still touches the block at its
+// offset (how the traced kernel would issue a probe).
+func emitRange(timeMS float64, write bool, part int, offset, size int64, blockBytes int, emit EmitFunc) error {
+	bb := int64(blockBytes)
+	first := offset / bb
+	last := first
+	if size > 0 {
+		last = (offset + size - 1) / bb
+	}
+	for b := first; b <= last; b++ {
+		if err := emit(trace.Record{TimeMS: timeMS, Write: write, Part: part, Block: b}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitFields splits line on sep into exactly len(out) fields without
+// allocating; it reports false when the field count differs.
+func splitFields(line string, sep byte, out []string) bool {
+	n := 0
+	for {
+		i := strings.IndexByte(line, sep)
+		if i < 0 {
+			break
+		}
+		if n >= len(out)-1 {
+			return false // too many fields
+		}
+		out[n] = line[:i]
+		n++
+		line = line[i+1:]
+	}
+	out[n] = line
+	return n == len(out)-1
+}
+
+// looksMSR reports whether a line parses as an MSR CSV event or header:
+// seven comma-separated fields whose fourth is Read/Write (events) or
+// whose first is non-numeric (header — "Timestamp,Hostname,...").
+func looksMSR(line string) bool {
+	var f [msrFields]string
+	if !splitFields(strings.TrimSpace(line), ',', f[:]) {
+		return false
+	}
+	typ := strings.TrimSpace(f[3])
+	if strings.EqualFold(typ, "Read") || strings.EqualFold(typ, "Write") {
+		return true
+	}
+	_, err := strconv.ParseInt(strings.TrimSpace(f[0]), 10, 64)
+	return err != nil // seven fields with a non-numeric timestamp: header
+}
